@@ -1,0 +1,39 @@
+"""Analysis: figure/table reproduction drivers and paper expectations."""
+
+from repro.analysis.expectations import PAPER
+from repro.analysis.figures import (
+    FigureResult,
+    fig1_response_time,
+    fig6_isr_model,
+    fig7_response_times,
+    fig8_isr_grid,
+    fig9_tick_timeseries,
+    fig10_cloud_variability,
+    fig11_tick_distribution,
+    fig12_node_sizes,
+    run_cell,
+    table8_network_shares,
+)
+from repro.analysis.hosting import (
+    HOSTING_PLANS,
+    HostingPlan,
+    most_common_recommendation,
+)
+
+__all__ = [
+    "FigureResult",
+    "HOSTING_PLANS",
+    "HostingPlan",
+    "PAPER",
+    "fig1_response_time",
+    "fig6_isr_model",
+    "fig7_response_times",
+    "fig8_isr_grid",
+    "fig9_tick_timeseries",
+    "fig10_cloud_variability",
+    "fig11_tick_distribution",
+    "fig12_node_sizes",
+    "most_common_recommendation",
+    "run_cell",
+    "table8_network_shares",
+]

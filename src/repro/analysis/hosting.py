@@ -1,0 +1,64 @@
+"""Table 7: hardware recommendations of MLG cloud-hosting companies.
+
+The paper surveyed 23 services (plus AWS/Azure guides); "NP" fields are
+information not provided to consumers, "V" is variable.  The dataset backs
+MF5's premise: the most common recommendation is 2 vCPUs and 4 GB RAM —
+which Figure 12 then shows to be insufficient.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+__all__ = ["HostingPlan", "HOSTING_PLANS", "most_common_recommendation"]
+
+
+@dataclass(frozen=True)
+class HostingPlan:
+    """One provider's recommended plan (paper Table 7)."""
+
+    service: str
+    ram_gb: float | None
+    vcpus: int | None
+    cpu_speed_ghz: float | None
+
+
+#: None encodes the paper's "NP" (not provided) and "V" (variable) fields.
+HOSTING_PLANS: tuple[HostingPlan, ...] = (
+    HostingPlan("Hostinger", 3.0, 3, None),
+    HostingPlan("Server.pro", 4.0, 2, 2.4),
+    HostingPlan("Skynode", 4.0, 2, 3.6),
+    HostingPlan("ScalaCube", 3.0, 2, 3.4),
+    HostingPlan("Nodecraft", 4.0, None, 3.8),
+    HostingPlan("Apex Hosting", 4.0, None, 3.9),
+    HostingPlan("GGServers", 4.0, None, 3.2),
+    HostingPlan("BisectHosting", 4.0, None, 3.4),
+    HostingPlan("Shockbyte", 4.0, None, 4.0),
+    HostingPlan("CubedHost", 2.5, None, 4.5),
+    HostingPlan("ServerMiner", 3.0, None, 4.0),
+    HostingPlan("Akliz", 4.0, None, 3.4),
+    HostingPlan("RamShard", 2.0, None, 4.0),
+    HostingPlan("MCProHosting", 2.0, None, None),
+    HostingPlan("GTXGaming", 3.0, None, 3.8),
+    HostingPlan("StickyPiston", 2.5, None, None),
+    HostingPlan("HostHavoc", 4.0, None, 4.0),
+    HostingPlan("Ferox Hosting", 4.0, None, None),
+    HostingPlan("Aquatis", 4.0, None, 4.2),
+    HostingPlan("PebbleHost", 3.0, None, 3.7),
+    HostingPlan("MelonCube", 4.0, None, 3.4),
+    HostingPlan("Azure", 4.0, 2, None),
+    HostingPlan("AWS", 1.0, 1, None),
+)
+
+
+def most_common_recommendation() -> tuple[float, int]:
+    """(RAM GB, vCPUs) recommended most often — the paper's "2 vCPU and
+    4 GB RAM is the most common configuration" (§5.1.2)."""
+    ram = Counter(
+        plan.ram_gb for plan in HOSTING_PLANS if plan.ram_gb is not None
+    )
+    vcpus = Counter(
+        plan.vcpus for plan in HOSTING_PLANS if plan.vcpus is not None
+    )
+    return ram.most_common(1)[0][0], vcpus.most_common(1)[0][0]

@@ -1,0 +1,39 @@
+"""Network latency model between emulation nodes and the server node.
+
+In the paper's deployments, player-emulation workers and the MLG server run
+in the same datacenter (cloud region) or on the same cluster (DAS-5), so
+per-direction latencies are sub-millisecond to a few milliseconds.  Each
+connecting client draws a latency pair once (its path through the fabric);
+response-time variability beyond that comes from the server, which is the
+object of study.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NetworkModel"]
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Per-direction one-way latency distribution (lognormal)."""
+
+    median_one_way_us: int
+    sigma: float = 0.25
+    #: Hard floor, in microseconds.
+    floor_us: int = 50
+
+    def latency_pair(self, rng: np.random.Generator) -> tuple[int, int]:
+        """Draw (uplink, downlink) one-way latencies for a new connection."""
+        up = self._draw(rng)
+        down = self._draw(rng)
+        return up, down
+
+    def _draw(self, rng: np.random.Generator) -> int:
+        value = self.median_one_way_us * float(
+            np.exp(rng.normal(0.0, self.sigma))
+        )
+        return max(self.floor_us, int(value))

@@ -1,0 +1,179 @@
+"""Metric collection (Fig. 5 components 7 and 8, Table 5).
+
+The **Metric Externalizer** reads application-level metrics through the
+server's introspection surface (the stand-in for JMX): tick durations and
+the tick-time distribution across workload operations.  The **System
+Metrics Collector** samples OS-level metrics twice per second of simulated
+time: CPU, memory (with a JVM-ish GC sawtooth), threads, disk I/O, and
+network I/O.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mlg.constants import TICK_BUDGET_US
+from repro.mlg.server import MLGServer
+
+__all__ = [
+    "MetricExternalizer",
+    "SystemMetricsCollector",
+    "SystemSample",
+    "TickDistribution",
+]
+
+#: System sampling interval: "queries the operating system twice per
+#: second" (§3.5.2).
+SAMPLE_INTERVAL_US = 500_000
+
+
+@dataclass(frozen=True)
+class TickDistribution:
+    """Share of total tick time per Figure 11 bucket, including waits."""
+
+    shares: dict[str, float]
+
+    def non_wait_shares(self) -> dict[str, float]:
+        """Re-normalized shares with the wait buckets removed."""
+        active = {
+            bucket: share
+            for bucket, share in self.shares.items()
+            if not bucket.startswith("Wait")
+        }
+        total = sum(active.values())
+        if total <= 0:
+            return {bucket: 0.0 for bucket in active}
+        return {bucket: share / total for bucket, share in active.items()}
+
+
+class MetricExternalizer:
+    """Application-level metrics read from the running server."""
+
+    def __init__(self, server: MLGServer) -> None:
+        self.server = server
+
+    def tick_durations_ms(self) -> list[float]:
+        return [r.duration_ms for r in self.server.tick_records]
+
+    def tick_distribution(self) -> TickDistribution:
+        """Aggregate tick-time shares across the whole run.
+
+        Work buckets come from priced operation counts; ``Wait After`` is
+        measured idle time after fast ticks, and ``Wait Before`` is the
+        input-poll segment at the head of the tick (a fixed slice of the
+        tick overhead, as in the paper's instrumentation).
+        """
+        totals: dict[str, float] = {}
+        wait_after = 0.0
+        wall = 0.0
+        for record in self.server.tick_records:
+            for bucket, us in record.breakdown_us.items():
+                totals[bucket] = totals.get(bucket, 0.0) + us
+            wait_after += record.wait_us
+            wall += record.duration_us + record.wait_us
+        if wall <= 0:
+            return TickDistribution({})
+        # The work breakdown is in simulated CPU µs; rescale it onto the
+        # measured (noisy) durations so shares sum to 1 with the waits.
+        work_total = sum(totals.values())
+        duration_total = wall - wait_after
+        scale = duration_total / work_total if work_total > 0 else 0.0
+        shares = {
+            bucket: us * scale / wall for bucket, us in totals.items()
+        }
+        # Carve the input-poll slice out of "Other".
+        wait_before = min(shares.get("Other", 0.0), 0.1 * duration_total / wall)
+        shares["Other"] = shares.get("Other", 0.0) - wait_before
+        shares["Wait Before"] = wait_before
+        shares["Wait After"] = wait_after / wall
+        return TickDistribution(shares)
+
+
+@dataclass(frozen=True)
+class SystemSample:
+    """One 2 Hz sample of system-level metrics (Table 5)."""
+
+    t_us: int
+    cpu_utilization: float
+    memory_bytes: int
+    threads: int
+    disk_read_bytes: int
+    disk_write_bytes: int
+    net_sent_bytes: int
+    net_recv_bytes: int
+
+
+class SystemMetricsCollector:
+    """Samples system metrics at 2 Hz of simulated time."""
+
+    def __init__(self, server: MLGServer) -> None:
+        self.server = server
+        self.samples: list[SystemSample] = []
+        self._next_sample_us = server.clock.now_us
+        self._last_cpu_used = 0.0
+        self._last_wall = 0.0
+        self._gc_phase = 0.0
+
+    def maybe_sample(self) -> int:
+        """Take all due samples; returns how many were taken.
+
+        Call after every tick; catch-up sampling during long ticks emits
+        the backlog, like a real collector polling on its own thread.
+        """
+        taken = 0
+        now = self.server.clock.now_us
+        while self._next_sample_us <= now:
+            self._take(self._next_sample_us)
+            self._next_sample_us += SAMPLE_INTERVAL_US
+            taken += 1
+        return taken
+
+    def _take(self, t_us: int) -> None:
+        server = self.server
+        machine = server.machine
+        cpu_used = machine.cpu_used_us
+        wall = max(1.0, machine.wall_observed_us)
+        d_cpu = cpu_used - self._last_cpu_used
+        d_wall = wall - self._last_wall
+        utilization = 0.0
+        if d_wall > 0:
+            utilization = min(
+                1.0, d_cpu / (d_wall * machine.spec.vcpus)
+            )
+        self._last_cpu_used = cpu_used
+        self._last_wall = wall
+        # JVM heap sawtooth: allocation climbs, young-GC drops it back.
+        self._gc_phase = (self._gc_phase + 0.13) % 1.0
+        heap_jitter = int(120e6 * self._gc_phase)
+        stats = server.net.stats
+        self.samples.append(
+            SystemSample(
+                t_us=t_us,
+                cpu_utilization=utilization,
+                memory_bytes=server.memory_bytes() + heap_jitter,
+                threads=server.thread_count,
+                disk_read_bytes=server.disk_bytes_read,
+                disk_write_bytes=server.disk_bytes_written,
+                net_sent_bytes=stats.total_bytes,
+                net_recv_bytes=server.net.bytes_in_total,
+            )
+        )
+
+    # -- summaries ---------------------------------------------------------------
+
+    def summary(self) -> dict[str, float]:
+        if not self.samples:
+            return {}
+        cpu = [s.cpu_utilization for s in self.samples]
+        mem = [s.memory_bytes for s in self.samples]
+        return {
+            "cpu_mean": sum(cpu) / len(cpu),
+            "cpu_max": max(cpu),
+            "memory_mean_mb": sum(mem) / len(mem) / 1e6,
+            "memory_max_mb": max(mem) / 1e6,
+            "threads": float(self.samples[-1].threads),
+            "disk_write_bytes": float(self.samples[-1].disk_write_bytes),
+            "net_sent_bytes": float(self.samples[-1].net_sent_bytes),
+            "net_recv_bytes": float(self.samples[-1].net_recv_bytes),
+            "samples": float(len(self.samples)),
+        }

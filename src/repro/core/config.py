@@ -1,0 +1,118 @@
+"""Meterstick configuration (Fig. 5 component 1, Table 4).
+
+All of Table 4's parameters are represented; deployment-oriented ones
+(IPs, SSL keys, ports, JMX endpoints) configure the simulated control
+plane, and experiment-oriented ones (servers, world, bots, duration,
+iterations, scale) configure the runs themselves.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field, asdict
+
+from repro.cloud.providers import get_environment
+from repro.mlg.variants import get_variant
+from repro.workloads import WORKLOADS
+
+__all__ = ["MeterstickConfig", "DEFAULT_JMX_PORT_RANGE"]
+
+DEFAULT_JMX_PORT_RANGE = (25585, 25635)
+
+
+@dataclass
+class MeterstickConfig:
+    """One benchmark campaign's configuration (Table 4).
+
+    ``servers`` lists the systems under test by variant name; every server
+    runs every iteration of the configured ``world`` workload in
+    ``environment``.
+    """
+
+    # -- deployment (Table 4: IPs, SSL Keys, Ports, JMX, File Locations) --
+    ips: list[str] = field(default_factory=lambda: ["10.0.0.1", "10.0.0.2"])
+    ssl_keys: list[str] = field(default_factory=list)
+    control_port: int = 25555
+    game_port: int = 25565
+    jmx_urls: list[str] = field(default_factory=list)
+    jmx_port_range: tuple[int, int] = DEFAULT_JMX_PORT_RANGE
+    output_dir: str = "meterstick-out"
+    resume: bool = False
+
+    # -- systems under test ------------------------------------------------
+    servers: list[str] = field(
+        default_factory=lambda: ["vanilla", "forge", "papermc"]
+    )
+    environment: str = "das5-2core"
+    ram_gb: float = 4.0
+    affinity_mask: int = 0xFFFFFFFF
+
+    # -- workload ----------------------------------------------------------
+    world: str = "control"
+    number_of_bots: int = 25
+    behavior: str = "bounded-random"
+    duration_s: float = 60.0
+    iterations: int = 1
+    scale: float = 1.0
+
+    # -- reproducibility ------------------------------------------------------
+    seed: int = 0
+    #: Simulated idle seconds between iterations (teardown + setup).
+    inter_iteration_gap_s: float = 20.0
+    #: Start cloud machines with drained burst credits (warm VMs).
+    warm_machines: bool = False
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    # -- validation -------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on any invalid parameter combination."""
+        if not self.servers:
+            raise ValueError("at least one server (system under test) needed")
+        for name in self.servers:
+            get_variant(name)  # raises on unknown
+        get_environment(self.environment)
+        if self.world.lower() not in WORKLOADS:
+            known = ", ".join(sorted(WORKLOADS))
+            raise ValueError(
+                f"unknown world workload {self.world!r}; known: {known}"
+            )
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive: {self.duration_s!r}")
+        if self.iterations < 1:
+            raise ValueError(f"iterations must be >= 1: {self.iterations!r}")
+        if self.number_of_bots < 0:
+            raise ValueError(f"bots must be >= 0: {self.number_of_bots!r}")
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive: {self.scale!r}")
+        if self.ram_gb <= 0:
+            raise ValueError(f"ram_gb must be positive: {self.ram_gb!r}")
+        lo, hi = self.jmx_port_range
+        if lo > hi:
+            raise ValueError("jmx_port_range must be (low, high)")
+
+    # -- serialization -------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["jmx_port_range"] = list(self.jmx_port_range)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MeterstickConfig":
+        payload = dict(data)
+        if "jmx_port_range" in payload:
+            payload["jmx_port_range"] = tuple(payload["jmx_port_range"])
+        return cls(**payload)
+
+    def iteration_seed(self, server: str, iteration: int) -> int:
+        """Deterministic per-(server, iteration) seed.
+
+        Uses CRC32 rather than ``hash()`` — Python string hashing is
+        salted per process, which would make campaigns unreproducible
+        across runs.
+        """
+        key = f"{self.seed}|{server}|{iteration}".encode()
+        return zlib.crc32(key) & 0x7FFFFFFF

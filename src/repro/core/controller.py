@@ -1,0 +1,203 @@
+"""Control Server / Control Client (Fig. 5 components 3 and 4).
+
+Meterstick follows a Controller/Worker pattern: the Control Server holds
+the operation logic and synchronizes the workers by exchanging Table 1
+messages with the Control Client on each node.  Here transports are
+in-memory queues (the simulated SSH channels); the protocol logic —
+sequencing, acknowledgements, error propagation, keepalives — is real and
+unit-tested.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.messages import DESTINATIONS, Message, MessageType
+
+__all__ = ["Transport", "ControlClient", "ControlServer", "ControlError"]
+
+
+class ControlError(RuntimeError):
+    """Raised by the controller when a worker reports ``err``."""
+
+
+@dataclass
+class Transport:
+    """A bidirectional in-memory message channel."""
+
+    to_worker: deque[Message] = field(default_factory=deque)
+    to_controller: deque[Message] = field(default_factory=deque)
+
+    def send_to_worker(self, message: Message) -> None:
+        self.to_worker.append(message)
+
+    def send_to_controller(self, message: Message) -> None:
+        self.to_controller.append(message)
+
+
+class ControlClient:
+    """A worker-side protocol endpoint (role ``"Y"`` or ``"M"``).
+
+    Handlers are callables keyed by message type; each returns an optional
+    payload for the ``ok`` acknowledgement, or raises to produce ``err``.
+    """
+
+    def __init__(self, name: str, role: str, transport: Transport) -> None:
+        if role not in ("Y", "M"):
+            raise ValueError(f"role must be 'Y' or 'M', got {role!r}")
+        self.name = name
+        self.role = role
+        self.transport = transport
+        self.handlers: dict[str, Callable[[str], str | None]] = {}
+        self.state: dict[str, str] = {}
+        self.exited = False
+        self._install_default_handlers()
+
+    def _install_default_handlers(self) -> None:
+        self.handlers[MessageType.SET_SERVER] = self._set_state("server")
+        self.handlers[MessageType.SET_JMX] = self._set_state("jmx")
+        self.handlers[MessageType.ITER] = self._set_state("iteration")
+        self.handlers[MessageType.KEEP_ALIVE] = lambda payload: None
+
+    def _set_state(self, key: str) -> Callable[[str], str | None]:
+        def handler(payload: str) -> str | None:
+            self.state[key] = payload
+            return None
+
+        return handler
+
+    def on(self, message_type: str, handler: Callable[[str], str | None]) -> None:
+        """Register a handler for a message type."""
+        if message_type not in MessageType.ALL:
+            raise ValueError(f"unknown message type {message_type!r}")
+        self.handlers[message_type] = handler
+
+    def process_one(self) -> bool:
+        """Handle the next queued message; returns False when idle."""
+        if not self.transport.to_worker:
+            return False
+        message = self.transport.to_worker.popleft()
+        if self.role not in DESTINATIONS.get(message.type, frozenset()):
+            self.transport.send_to_controller(
+                Message(
+                    MessageType.ERR,
+                    f"{message.type} not valid for role {self.role}",
+                    sender=self.name,
+                )
+            )
+            return True
+        if message.type == MessageType.EXIT:
+            self.exited = True
+            self.transport.send_to_controller(
+                Message(MessageType.OK, sender=self.name)
+            )
+            return True
+        handler = self.handlers.get(message.type)
+        if handler is None:
+            self.transport.send_to_controller(
+                Message(
+                    MessageType.ERR,
+                    f"no handler for {message.type}",
+                    sender=self.name,
+                )
+            )
+            return True
+        try:
+            result = handler(message.payload)
+        except Exception as exc:  # workers report, controllers decide
+            self.transport.send_to_controller(
+                Message(MessageType.ERR, str(exc), sender=self.name)
+            )
+            return True
+        if message.type != MessageType.KEEP_ALIVE:
+            self.transport.send_to_controller(
+                Message(MessageType.OK, result or "", sender=self.name)
+            )
+        return True
+
+
+class ControlServer:
+    """The controller: sequences workers and awaits acknowledgements."""
+
+    def __init__(self) -> None:
+        self.workers: dict[str, ControlClient] = {}
+        self.log: list[tuple[str, str]] = []
+
+    def register(self, client: ControlClient) -> None:
+        self.workers[client.name] = client
+
+    def command(self, worker: str, message_type: str, payload: str = "") -> str:
+        """Send one command and synchronously await its ``ok``.
+
+        Raises :class:`ControlError` when the worker answers ``err``.
+        """
+        client = self.workers[worker]
+        message = Message(message_type, payload)
+        client.transport.send_to_worker(message)
+        self.log.append((worker, message.encode()))
+        client.process_one()
+        if not client.transport.to_controller:
+            raise ControlError(f"worker {worker} did not acknowledge")
+        reply = client.transport.to_controller.popleft()
+        if reply.type == MessageType.ERR:
+            raise ControlError(f"{worker}: {reply.payload}")
+        return reply.payload
+
+    def broadcast(
+        self, message_type: str, payload: str = "", roles: str = "YM"
+    ) -> dict[str, str]:
+        """Command every worker whose role is in ``roles``."""
+        replies = {}
+        for name, client in self.workers.items():
+            if client.role in roles:
+                replies[name] = self.command(name, message_type, payload)
+        return replies
+
+    def keep_alive_all(self) -> None:
+        """No-op pings that keep the (simulated) TCP connections open."""
+        for name, client in self.workers.items():
+            message = Message(MessageType.KEEP_ALIVE)
+            client.transport.send_to_worker(message)
+            client.process_one()
+
+    # -- the paper's experiment sequence --------------------------------------
+
+    def run_iteration_sequence(
+        self,
+        server_name: str,
+        iteration: int,
+        mlg_worker: str,
+        emulation_workers: list[str],
+        jmx_url: str = "",
+    ) -> None:
+        """Drive one iteration's control flow (§3.2, Table 1 messages).
+
+        set_server → set_jmx → iter → initialize → log_start → connect →
+        (experiment runs) → log_stop → stop_server → convert.
+        The actual measurement work is performed by the handlers the
+        workers registered.
+        """
+        self.command(mlg_worker, MessageType.SET_SERVER, server_name)
+        for worker in emulation_workers:
+            self.command(worker, MessageType.SET_SERVER, server_name)
+        if jmx_url:
+            self.command(mlg_worker, MessageType.SET_JMX, jmx_url)
+        self.command(mlg_worker, MessageType.ITER, str(iteration))
+        for worker in emulation_workers:
+            self.command(worker, MessageType.ITER, str(iteration))
+        self.command(mlg_worker, MessageType.INITIALIZE)
+        self.command(mlg_worker, MessageType.LOG_START)
+        for worker in emulation_workers:
+            self.command(worker, MessageType.CONNECT)
+        self.command(mlg_worker, MessageType.LOG_STOP)
+        self.command(mlg_worker, MessageType.STOP_SERVER)
+        for worker in emulation_workers:
+            self.command(worker, MessageType.CONVERT)
+
+    def shutdown(self) -> None:
+        """Send ``exit`` to every worker."""
+        for name, client in self.workers.items():
+            if not client.exited:
+                self.command(name, MessageType.EXIT)

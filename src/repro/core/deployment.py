@@ -1,0 +1,82 @@
+"""Deployment component (Fig. 5, #2): provision nodes from a config.
+
+The real Meterstick deploys its components over SSH to any reachable IPs
+(R7 portability).  The simulated equivalent materializes one node per
+configured IP, assigns roles (one MLG node, the rest player-emulation
+workers), installs the control clients, and hands the set to the Control
+Server — exercising the same control-plane wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cloud.providers import Environment, get_environment
+from repro.core.config import MeterstickConfig
+from repro.core.controller import ControlClient, ControlServer, Transport
+
+__all__ = ["Node", "Deployment"]
+
+
+@dataclass
+class Node:
+    """One provisioned machine with its installed components."""
+
+    ip: str
+    role: str  # "M" (MLG) or "Y" (player emulation)
+    environment: Environment
+    installed: list[str] = field(default_factory=list)
+    client: ControlClient | None = None
+
+
+class Deployment:
+    """Provisions nodes and wires up the controller."""
+
+    #: Software bundles pushed to each role.
+    MLG_BUNDLE = ("jre", "mlg-server", "metric-externalizer",
+                  "system-metrics-collector", "control-client")
+    EMULATION_BUNDLE = ("jre", "player-emulation", "control-client")
+
+    def __init__(self, config: MeterstickConfig) -> None:
+        if len(config.ips) < 2:
+            raise ValueError(
+                "deployment needs at least two IPs: one MLG node and one "
+                "player-emulation worker"
+            )
+        self.config = config
+        self.environment = get_environment(config.environment)
+        self.nodes: list[Node] = []
+        self.controller: ControlServer | None = None
+
+    def deploy(self) -> ControlServer:
+        """Provision all nodes; returns the ready Control Server."""
+        controller = ControlServer()
+        for index, ip in enumerate(self.config.ips):
+            role = "M" if index == 0 else "Y"
+            node = Node(ip=ip, role=role, environment=self.environment)
+            bundle = (
+                self.MLG_BUNDLE if role == "M" else self.EMULATION_BUNDLE
+            )
+            node.installed.extend(bundle)
+            client = ControlClient(
+                name=f"{role.lower()}-{ip}", role=role, transport=Transport()
+            )
+            node.client = client
+            controller.register(client)
+            self.nodes.append(node)
+        self.controller = controller
+        return controller
+
+    @property
+    def mlg_node(self) -> Node:
+        self._require_deployed()
+        return self.nodes[0]
+
+    @property
+    def emulation_nodes(self) -> list[Node]:
+        self._require_deployed()
+        return self.nodes[1:]
+
+    def _require_deployed(self) -> None:
+        if not self.nodes:
+            raise RuntimeError("deploy() has not been called")

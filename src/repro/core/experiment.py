@@ -1,0 +1,139 @@
+"""The experiment runner: Meterstick's measurement loop.
+
+Runs every configured server (system under test) for the configured number
+of iterations of one workload in one environment, exactly as the paper's
+controller sequences it: boot the server with the workload world, start
+logging, connect the player emulation, run for the configured duration,
+stop, collect.  Machines persist across iterations of the same server
+(the deployment reuses nodes), with an idle gap between iterations during
+which burstable credits accrue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cloud.providers import get_environment
+from repro.core.collectors import MetricExternalizer, SystemMetricsCollector
+from repro.core.config import MeterstickConfig
+from repro.core.results import ExperimentResult, IterationResult
+from repro.emulation.swarm import BotSwarm
+from repro.mlg.server import MLGServer
+from repro.simtime import SimClock, s_to_us
+from repro.workloads import get_workload
+
+__all__ = ["ExperimentRunner", "run_iteration"]
+
+
+def run_iteration(
+    workload_name: str,
+    server_name: str,
+    environment_name: str,
+    duration_s: float = 60.0,
+    seed: int = 0,
+    scale: float = 1.0,
+    n_bots: int = 25,
+    machine=None,
+    clock: SimClock | None = None,
+    iteration: int = 0,
+) -> IterationResult:
+    """Run one iteration and return its measurements.
+
+    ``machine``/``clock`` may be passed in to persist node state across
+    iterations; fresh ones are created when omitted.
+    """
+    env = get_environment(environment_name)
+    if machine is None:
+        machine = env.create_machine(seed=seed)
+    if clock is None:
+        clock = SimClock()
+
+    workload_kwargs = {}
+    if workload_name.lower() == "players":
+        workload_kwargs["n_bots"] = n_bots
+    workload = get_workload(workload_name, scale=scale, **workload_kwargs)
+    world = workload.create_world(seed)
+    server = MLGServer(
+        server_name, machine, world=world, clock=clock, seed=seed
+    )
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    swarm = BotSwarm(server, env.network, rng)
+    workload.install(server, swarm)
+
+    externalizer = MetricExternalizer(server)
+    system = SystemMetricsCollector(server)
+
+    server.start()
+    deadline = clock.now_us + s_to_us(duration_s)
+    while clock.now_us < deadline and server.running:
+        server.tick()
+        swarm.step()
+        system.maybe_sample()
+        if server.crashed:
+            break
+    server.running = False
+
+    stats = server.net.stats
+    n_share, b_share = stats.entity_share()
+    return IterationResult(
+        server=server_name,
+        workload=workload_name,
+        environment=environment_name,
+        iteration=iteration,
+        seed=seed,
+        duration_s=duration_s,
+        tick_durations_ms=externalizer.tick_durations_ms(),
+        response_times_ms=swarm.response_times_ms(),
+        tick_distribution=externalizer.tick_distribution().shares,
+        packet_counts=dict(stats.counts),
+        packet_bytes=dict(stats.bytes_),
+        entity_message_share=n_share,
+        entity_byte_share=b_share,
+        system_summary=system.summary(),
+        crashed=server.crashed,
+        crash_reason=server.crash_reason,
+        throttled_ticks=machine.throttled_executions,
+        final_credits_s=machine.credits_s,
+    )
+
+
+class ExperimentRunner:
+    """Executes a full :class:`MeterstickConfig` campaign."""
+
+    def __init__(self, config: MeterstickConfig) -> None:
+        self.config = config
+
+    def run(self) -> ExperimentResult:
+        """Run all servers × iterations; returns the collected results."""
+        config = self.config
+        result = ExperimentResult(config=config.to_dict())
+        env = get_environment(config.environment)
+        for server_name in config.servers:
+            machine = env.create_machine(
+                seed=config.iteration_seed(server_name, -1)
+            )
+            if config.warm_machines:
+                machine.drain_credits()
+            clock = SimClock()
+            last_throttled = 0
+            for iteration in range(config.iterations):
+                seed = config.iteration_seed(server_name, iteration)
+                iteration_result = run_iteration(
+                    workload_name=config.world,
+                    server_name=server_name,
+                    environment_name=config.environment,
+                    duration_s=config.duration_s,
+                    seed=seed,
+                    scale=config.scale,
+                    n_bots=config.number_of_bots,
+                    machine=machine,
+                    clock=clock,
+                    iteration=iteration,
+                )
+                # Per-iteration throttle count (machine's is cumulative).
+                iteration_result.throttled_ticks -= last_throttled
+                last_throttled = machine.throttled_executions
+                result.iterations.append(iteration_result)
+                # Teardown/setup gap: the node idles, credits accrue.
+                clock.advance(s_to_us(config.inter_iteration_gap_s))
+        return result

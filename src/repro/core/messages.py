@@ -1,0 +1,87 @@
+"""Controller protocol messages (Table 1).
+
+The Control Server and Control Clients exchange exactly the paper's
+message vocabulary.  ``Dest`` follows the paper's notation: Y = player
+emulation workers, M = the MLG server node, C = the controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["MessageType", "Message", "DESTINATIONS"]
+
+
+class MessageType:
+    """Table 1's message names."""
+
+    SET_SERVER = "set_server"
+    SET_JMX = "set_jmx"
+    ITER = "iter"
+    INITIALIZE = "initialize"
+    LOG_START = "log_start"
+    LOG_STOP = "log_stop"
+    STOP_SERVER = "stop_server"
+    CONNECT = "connect"
+    CONVERT = "convert"
+    OK = "ok"
+    KEEP_ALIVE = "keep_alive"
+    ERR = "err"
+    EXIT = "exit"
+
+    ALL = (
+        SET_SERVER,
+        SET_JMX,
+        ITER,
+        INITIALIZE,
+        LOG_START,
+        LOG_STOP,
+        STOP_SERVER,
+        CONNECT,
+        CONVERT,
+        OK,
+        KEEP_ALIVE,
+        ERR,
+        EXIT,
+    )
+
+
+#: Valid destinations per message type (paper Table 1's "Dest" column).
+#: Y = player-emulation worker, M = MLG server node, C = controller.
+DESTINATIONS: dict[str, frozenset[str]] = {
+    MessageType.SET_SERVER: frozenset({"Y", "M"}),
+    MessageType.SET_JMX: frozenset({"M"}),
+    MessageType.ITER: frozenset({"Y", "M"}),
+    MessageType.INITIALIZE: frozenset({"M"}),
+    MessageType.LOG_START: frozenset({"M"}),
+    MessageType.LOG_STOP: frozenset({"M"}),
+    MessageType.STOP_SERVER: frozenset({"M"}),
+    MessageType.CONNECT: frozenset({"Y"}),
+    MessageType.CONVERT: frozenset({"Y"}),
+    MessageType.OK: frozenset({"C"}),
+    MessageType.KEEP_ALIVE: frozenset({"M", "Y"}),
+    MessageType.ERR: frozenset({"C"}),
+    MessageType.EXIT: frozenset({"M", "Y"}),
+}
+
+
+@dataclass(frozen=True)
+class Message:
+    """One control-plane message with an optional payload argument."""
+
+    type: str
+    payload: str = ""
+    sender: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type not in MessageType.ALL:
+            raise ValueError(f"unknown controller message {self.type!r}")
+
+    def encode(self) -> str:
+        """Wire form, e.g. ``set_server:papermc`` or ``initialize``."""
+        return f"{self.type}:{self.payload}" if self.payload else self.type
+
+    @classmethod
+    def decode(cls, wire: str, sender: str = "") -> "Message":
+        type_, _, payload = wire.partition(":")
+        return cls(type=type_, payload=payload, sender=sender)

@@ -1,0 +1,116 @@
+"""Result records produced by the experiment runner (FAIR-style export).
+
+An :class:`IterationResult` captures everything one iteration measured;
+an :class:`ExperimentResult` is the whole campaign plus its configuration,
+exportable to JSON/CSV for the Data Retrieval component (Fig. 5, #9).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.metrics import instability_ratio, summarize
+from repro.mlg.constants import TICK_BUDGET_MS
+
+__all__ = ["IterationResult", "ExperimentResult"]
+
+
+@dataclass
+class IterationResult:
+    """All measurements from one (server, iteration) run."""
+
+    server: str
+    workload: str
+    environment: str
+    iteration: int
+    seed: int
+    duration_s: float
+    tick_durations_ms: list[float]
+    response_times_ms: list[float]
+    tick_distribution: dict[str, float]
+    packet_counts: dict[str, int]
+    packet_bytes: dict[str, int]
+    entity_message_share: float
+    entity_byte_share: float
+    system_summary: dict[str, float]
+    crashed: bool
+    crash_reason: str | None
+    throttled_ticks: int
+    final_credits_s: float
+
+    @property
+    def isr(self) -> float:
+        """Instability Ratio of this iteration's tick trace (Equation 1)."""
+        return instability_ratio(self.tick_durations_ms, TICK_BUDGET_MS)
+
+    def tick_stats(self) -> dict[str, float]:
+        return summarize(self.tick_durations_ms)
+
+    def response_stats(self) -> dict[str, float] | None:
+        if not self.response_times_ms:
+            return None
+        return summarize(self.response_times_ms)
+
+    def to_dict(self) -> dict:
+        data = asdict(self)
+        data["isr"] = self.isr
+        return data
+
+
+@dataclass
+class ExperimentResult:
+    """A full campaign: every iteration of every configured server."""
+
+    config: dict
+    iterations: list[IterationResult] = field(default_factory=list)
+
+    def for_server(self, server: str) -> list[IterationResult]:
+        return [it for it in self.iterations if it.server == server]
+
+    def isr_values(self, server: str | None = None) -> list[float]:
+        pool = self.iterations if server is None else self.for_server(server)
+        return [it.isr for it in pool]
+
+    def pooled_tick_durations(self, server: str | None = None) -> list[float]:
+        pool = self.iterations if server is None else self.for_server(server)
+        out: list[float] = []
+        for it in pool:
+            out.extend(it.tick_durations_ms)
+        return out
+
+    def pooled_response_times(
+        self, server: str | None = None
+    ) -> list[float]:
+        pool = self.iterations if server is None else self.for_server(server)
+        out: list[float] = []
+        for it in pool:
+            out.extend(it.response_times_ms)
+        return out
+
+    def any_crashed(self, server: str | None = None) -> bool:
+        pool = self.iterations if server is None else self.for_server(server)
+        return any(it.crashed for it in pool)
+
+    # -- export (Data Retrieval, Fig. 5 #9) ---------------------------------
+
+    def save_json(self, path: str | Path) -> Path:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "config": self.config,
+            "iterations": [it.to_dict() for it in self.iterations],
+        }
+        path.write_text(json.dumps(payload, indent=2))
+        return path
+
+    @classmethod
+    def load_json(cls, path: str | Path) -> "ExperimentResult":
+        payload = json.loads(Path(path).read_text())
+        iterations = []
+        for raw in payload["iterations"]:
+            raw = dict(raw)
+            raw.pop("isr", None)
+            iterations.append(IterationResult(**raw))
+        return cls(config=payload["config"], iterations=iterations)

@@ -1,0 +1,13 @@
+"""Player emulation: Yardstick-style bots and swarms (Fig. 5, #5)."""
+
+from repro.emulation.behavior import Behavior, BoundedRandomWalk, Idle
+from repro.emulation.bot import EmulatedPlayer
+from repro.emulation.swarm import BotSwarm
+
+__all__ = [
+    "Behavior",
+    "BotSwarm",
+    "BoundedRandomWalk",
+    "EmulatedPlayer",
+    "Idle",
+]

@@ -1,0 +1,71 @@
+"""Bot behaviours (§3.4.1).
+
+The paper's player-based workload connects 25 emulated players that "move
+randomly in a 32-by-32 area"; the environment-based workloads connect a
+single player that "performs no actions" (it still sends the chat probes
+that measure response time, §3.5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Behavior", "BoundedRandomWalk", "Idle"]
+
+
+class Behavior:
+    """Decides a bot's next movement target each tick (or None)."""
+
+    def next_move(
+        self, x: float, z: float, rng: np.random.Generator
+    ) -> tuple[float, float] | None:
+        raise NotImplementedError
+
+
+@dataclass
+class BoundedRandomWalk(Behavior):
+    """Random waypoint walking inside an axis-aligned box.
+
+    The bot picks a waypoint in the box, walks toward it at ``speed``
+    blocks per tick, then picks a new one — the paper's bounded random
+    movement (Table 4: Behavior = "Bounded random").
+    """
+
+    x0: float
+    z0: float
+    x1: float
+    z1: float
+    speed: float = 0.22
+
+    def __post_init__(self) -> None:
+        if self.x1 <= self.x0 or self.z1 <= self.z0:
+            raise ValueError("walk box corners must be ordered and non-empty")
+        self._target: tuple[float, float] | None = None
+
+    def next_move(
+        self, x: float, z: float, rng: np.random.Generator
+    ) -> tuple[float, float] | None:
+        if self._target is None:
+            self._target = (
+                float(rng.uniform(self.x0, self.x1)),
+                float(rng.uniform(self.z0, self.z1)),
+            )
+        tx, tz = self._target
+        dx = tx - x
+        dz = tz - z
+        dist = (dx * dx + dz * dz) ** 0.5
+        if dist < self.speed:
+            self._target = None
+            return (tx, tz)
+        return (x + dx / dist * self.speed, z + dz / dist * self.speed)
+
+
+class Idle(Behavior):
+    """Performs no movement (the environment-workload observer player)."""
+
+    def next_move(
+        self, x: float, z: float, rng: np.random.Generator
+    ) -> tuple[float, float] | None:
+        return None

@@ -1,0 +1,129 @@
+"""An emulated player — the Yardstick-style protocol client (Fig. 5, #5).
+
+Each bot connects to the server, walks according to its behaviour, and
+periodically sends a chat *probe*: a message echoed to every player
+(including the sender).  Response time is the interval between sending the
+probe and receiving its own echo — exactly the paper's instrument (§3.5.1):
+uplink + input-queue wait + tick processing + outbound flush + downlink.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.emulation.behavior import Behavior, Idle
+from repro.mlg.protocol import ActionKind, PacketCategory, PlayerAction
+from repro.mlg.server import MLGServer
+from repro.simtime import s_to_us
+
+__all__ = ["EmulatedPlayer"]
+
+#: Default seconds between chat probes.
+PROBE_INTERVAL_S = 1.0
+
+
+class EmulatedPlayer:
+    """One bot driving one client connection."""
+
+    def __init__(
+        self,
+        name: str,
+        server: MLGServer,
+        rng: np.random.Generator,
+        behavior: Behavior | None = None,
+        spawn_x: float = 8.0,
+        spawn_z: float = 8.0,
+        latency_up_us: int = 1000,
+        latency_down_us: int = 1000,
+        probe_interval_s: float = PROBE_INTERVAL_S,
+    ) -> None:
+        self.name = name
+        self.server = server
+        self.rng = rng
+        self.behavior = behavior if behavior is not None else Idle()
+        self.probe_interval_us = s_to_us(probe_interval_s)
+        conn = server.connect_client(
+            name, spawn_x, spawn_z, latency_up_us, latency_down_us
+        )
+        self.client_id = conn.client_id
+        self.x = conn.x
+        self.z = conn.z
+        self.y = conn.y
+        self._next_probe_us = server.clock.now_us
+        self._next_probe_id = 1
+        #: probe_id -> send timestamp (µs).
+        self._pending_probes: dict[int, int] = {}
+        #: Completed probe response times, in milliseconds.
+        self.response_times_ms: list[float] = []
+        self._deliveries_seen = 0
+        # Real clients chat during the join sequence; the first probe goes
+        # out immediately, so it samples the connect-time chunk-loading
+        # spike — the source of the paper's §5.2 outliers ("directly after
+        # a player connects").
+        self._maybe_probe(server.clock.now_us)
+
+    # -- per-tick driving -----------------------------------------------------------
+
+    def step(self, now_us: int) -> None:
+        """Advance the bot one tick: consume echoes, move, maybe probe."""
+        endpoint = self.server.net.client(self.client_id)
+        if endpoint is None or endpoint.disconnected:
+            return
+        self._consume_deliveries(endpoint)
+        self._maybe_move(now_us)
+        self._maybe_probe(now_us)
+
+    @property
+    def connected(self) -> bool:
+        endpoint = self.server.net.client(self.client_id)
+        return endpoint is not None and not endpoint.disconnected
+
+    def _consume_deliveries(self, endpoint) -> None:
+        deliveries = endpoint.deliveries
+        for delivery in deliveries[self._deliveries_seen :]:
+            if delivery.category != PacketCategory.CHAT:
+                continue
+            sender_id, probe_id = delivery.payload
+            if sender_id != self.client_id:
+                continue
+            sent_at = self._pending_probes.pop(probe_id, None)
+            if sent_at is not None:
+                self.response_times_ms.append(
+                    (delivery.delivered_at_us - sent_at) / 1000.0
+                )
+        self._deliveries_seen = len(deliveries)
+
+    def _maybe_move(self, now_us: int) -> None:
+        target = self.behavior.next_move(self.x, self.z, self.rng)
+        if target is None:
+            return
+        tx, tz = target
+        ground = self.server.world.column_height(int(tx), int(tz))
+        action = PlayerAction(
+            ActionKind.MOVE, self.client_id, (tx, float(max(ground, 1)), tz)
+        )
+        # Client-side speculation: the bot applies its own move locally.
+        self.x, self.z = tx, tz
+        self.server.submit_action(action, now_us)
+
+    def _maybe_probe(self, now_us: int) -> None:
+        if now_us < self._next_probe_us:
+            return
+        probe_id = self._next_probe_id
+        self._next_probe_id += 1
+        # Sub-tick send offset: probes land uniformly inside tick windows.
+        sent_at = now_us + int(self.rng.uniform(0, 45_000))
+        action = PlayerAction(
+            ActionKind.CHAT, self.client_id, (probe_id, 32)
+        )
+        self.server.submit_action(action, sent_at)
+        self._pending_probes[probe_id] = sent_at
+        self._next_probe_us = now_us + self.probe_interval_us + int(
+            self.rng.uniform(-0.1, 0.1) * self.probe_interval_us
+        )
+
+    # -- results ------------------------------------------------------------------------
+
+    @property
+    def outstanding_probes(self) -> int:
+        return len(self._pending_probes)

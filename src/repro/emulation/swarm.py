@@ -1,0 +1,114 @@
+"""Bot swarm: manages a group of emulated players against one server.
+
+Plays the role of Meterstick's player-emulation workers (Fig. 5): connects
+``n`` bots (optionally staggered, the way real players trickle in), steps
+them after every server tick, and aggregates their response-time samples.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.cloud.network import NetworkModel
+from repro.emulation.behavior import Behavior, BoundedRandomWalk, Idle
+from repro.emulation.bot import EmulatedPlayer
+from repro.mlg.server import MLGServer
+
+__all__ = ["BotSwarm"]
+
+
+class BotSwarm:
+    """A set of bots plus their connection plan."""
+
+    def __init__(
+        self,
+        server: MLGServer,
+        network: NetworkModel,
+        rng: np.random.Generator,
+    ) -> None:
+        self.server = server
+        self.network = network
+        self.rng = rng
+        self.bots: list[EmulatedPlayer] = []
+        #: (connect_at_us, factory) for staggered joins.
+        self._pending: list[tuple[int, Callable[[], EmulatedPlayer]]] = []
+
+    # -- construction --------------------------------------------------------------
+
+    def add_bot(
+        self,
+        name: str,
+        behavior: Behavior | None = None,
+        spawn_x: float = 8.0,
+        spawn_z: float = 8.0,
+        connect_delay_s: float = 0.0,
+        probe_interval_s: float = 1.0,
+    ) -> None:
+        """Schedule one bot; delay 0 connects immediately."""
+        up, down = self.network.latency_pair(self.rng)
+
+        def factory() -> EmulatedPlayer:
+            return EmulatedPlayer(
+                name,
+                self.server,
+                self.rng,
+                behavior=behavior,
+                spawn_x=spawn_x,
+                spawn_z=spawn_z,
+                latency_up_us=up,
+                latency_down_us=down,
+                probe_interval_s=probe_interval_s,
+            )
+
+        if connect_delay_s <= 0.0:
+            self.bots.append(factory())
+        else:
+            connect_at = self.server.clock.now_us + int(connect_delay_s * 1e6)
+            self._pending.append((connect_at, factory))
+            self._pending.sort(key=lambda entry: entry[0])
+
+    def add_player_workload(
+        self,
+        n_bots: int = 25,
+        area: tuple[float, float, float, float] = (0.0, 0.0, 32.0, 32.0),
+        stagger_s: float = 0.25,
+    ) -> None:
+        """The paper's Players workload: bots random-walking a 32×32 box."""
+        x0, z0, x1, z1 = area
+        for i in range(n_bots):
+            self.add_bot(
+                name=f"bot-{i}",
+                behavior=BoundedRandomWalk(x0, z0, x1, z1),
+                spawn_x=float(self.rng.uniform(x0, x1)),
+                spawn_z=float(self.rng.uniform(z0, z1)),
+                connect_delay_s=i * stagger_s,
+            )
+
+    def add_observer(self, name: str = "observer") -> None:
+        """The single idle player of the environment-based workloads."""
+        self.add_bot(name, behavior=Idle(), spawn_x=8.0, spawn_z=8.0)
+
+    # -- per-tick driving --------------------------------------------------------------
+
+    def step(self) -> None:
+        """Connect due bots, then step everyone (call after a server tick)."""
+        now = self.server.clock.now_us
+        while self._pending and self._pending[0][0] <= now:
+            _, factory = self._pending.pop(0)
+            self.bots.append(factory())
+        for bot in self.bots:
+            bot.step(now)
+
+    # -- results ------------------------------------------------------------------------
+
+    def response_times_ms(self) -> list[float]:
+        samples: list[float] = []
+        for bot in self.bots:
+            samples.extend(bot.response_times_ms)
+        return samples
+
+    @property
+    def connected_count(self) -> int:
+        return sum(1 for bot in self.bots if bot.connected)

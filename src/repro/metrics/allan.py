@@ -1,0 +1,61 @@
+"""Allan variance — the frequency-stability metric ISR is compared to (§4.3).
+
+Allan variance is order-dependent (unlike standard deviation) but assumes a
+constant sampling frequency and continuous sampling domain, which tick
+durations violate — the paper's Table 6 makes exactly this point.  We still
+implement it faithfully so the comparison benchmark can demonstrate the
+difference in behaviour on tick traces.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["allan_variance", "allan_deviation", "allan_variance_profile"]
+
+
+def allan_variance(values: Sequence[float], m: int = 1) -> float:
+    """Non-overlapping Allan variance at averaging factor ``m``.
+
+    ``AVAR(m) = 1/(2 (K-1)) * sum_k (ybar_{k+1} - ybar_k)^2`` where the
+    ``ybar_k`` are means of ``K = floor(n/m)`` consecutive groups of ``m``
+    samples.  Requires at least ``2m`` samples.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("values must be a one-dimensional sequence")
+    if m < 1:
+        raise ValueError(f"averaging factor m must be >= 1, got {m!r}")
+    n_groups = arr.size // m
+    if n_groups < 2:
+        raise ValueError(
+            f"need at least {2 * m} samples for m={m}, got {arr.size}"
+        )
+    groups = arr[: n_groups * m].reshape(n_groups, m).mean(axis=1)
+    diffs = np.diff(groups)
+    return float(0.5 * np.mean(diffs**2))
+
+
+def allan_deviation(values: Sequence[float], m: int = 1) -> float:
+    """Square root of :func:`allan_variance`."""
+    return float(np.sqrt(allan_variance(values, m)))
+
+
+def allan_variance_profile(
+    values: Sequence[float], factors: Sequence[int] | None = None
+) -> dict[int, float]:
+    """Allan variance over a ladder of averaging factors.
+
+    When ``factors`` is ``None``, powers of two up to a quarter of the trace
+    length are used — the standard sigma-tau plot grid.
+    """
+    arr = np.asarray(values, dtype=float)
+    if factors is None:
+        factors = []
+        m = 1
+        while m <= max(1, arr.size // 4):
+            factors.append(m)
+            m *= 2
+    return {m: allan_variance(arr, m) for m in factors}

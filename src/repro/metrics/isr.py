@@ -1,0 +1,130 @@
+"""Instability Ratio (ISR) — the paper's novel variability metric (§4).
+
+ISR is a normalized sum of cycle-to-cycle jitter over a whole trace of game
+ticks (Equation 1 in the paper)::
+
+    ISR = sum_{i} |max(b, t_i) - max(b, t_{i-1})|  /  (N_e * 2b)
+
+where ``t_i`` is the duration of the i-th tick, ``b`` is the tick budget (the
+delay between ticks when the game runs at its intended frequency, 50 ms for a
+20 Hz MLG), ``max(b, t_i)`` is the *period* of tick ``i`` (a fast tick still
+occupies a full budget because the loop waits), and ``N_e`` is the number of
+ticks the server was *expected* to complete in the trace duration.
+
+An ISR of 0 means a perfectly stable trace; 1 is the asymptotic maximum,
+reached when periods alternate between ``b`` and arbitrarily large values.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "instability_ratio",
+    "tick_periods",
+    "expected_ticks",
+    "isr_components",
+]
+
+
+def tick_periods(durations: Sequence[float], budget: float) -> np.ndarray:
+    """Return the per-tick *periods* ``max(b, t_i)`` as a float array.
+
+    A tick that finishes early still occupies one full budget ``b`` because
+    the game loop sleeps until the next scheduled tick start; a late tick
+    occupies its own duration.
+    """
+    if budget <= 0:
+        raise ValueError(f"tick budget must be positive, got {budget!r}")
+    arr = np.asarray(durations, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("durations must be a one-dimensional sequence")
+    if arr.size and (not np.isfinite(arr).all() or (arr < 0).any()):
+        raise ValueError("tick durations must be finite and non-negative")
+    return np.maximum(arr, budget)
+
+
+def expected_ticks(durations: Sequence[float], budget: float) -> int:
+    """Infer ``N_e`` from a trace: the ticks a healthy server would have run.
+
+    The trace's wall duration is the sum of its periods; at the intended
+    frequency the server completes one tick per budget, so
+    ``N_e = round(sum(periods) / b)``.  When the server never overruns,
+    ``N_e`` equals the actual tick count ``N_a``.
+    """
+    periods = tick_periods(durations, budget)
+    if periods.size == 0:
+        return 0
+    return int(round(float(periods.sum()) / budget))
+
+
+def instability_ratio(
+    durations: Sequence[float],
+    budget: float,
+    n_expected: int | None = None,
+) -> float:
+    """Compute the Instability Ratio of a tick-duration trace (Equation 1).
+
+    Parameters
+    ----------
+    durations:
+        Tick durations ``t_i``, in the same unit as ``budget`` (any unit).
+    budget:
+        Tick budget ``b`` (50 ms for a 20 Hz game loop).
+    n_expected:
+        ``N_e``, the expected number of ticks.  When ``None`` it is inferred
+        from the trace duration via :func:`expected_ticks`, which matches the
+        paper's experiment setup where the trace spans the full experiment.
+
+    Returns
+    -------
+    float
+        ISR in ``[0, 1]`` (up to rounding of ``N_e``).  An empty or
+        single-tick trace has no consecutive pairs and yields 0.0.
+    """
+    periods = tick_periods(durations, budget)
+    if periods.size < 2:
+        return 0.0
+    if n_expected is None:
+        n_expected = expected_ticks(durations, budget)
+    if n_expected <= 0:
+        raise ValueError(f"n_expected must be positive, got {n_expected!r}")
+    jitter_sum = float(np.abs(np.diff(periods)).sum())
+    return jitter_sum / (n_expected * 2.0 * budget)
+
+
+def isr_components(
+    durations: Sequence[float], budget: float
+) -> dict[str, float]:
+    """Return the pieces of Equation 1 for inspection and debugging.
+
+    Keys: ``jitter_sum`` (numerator), ``n_actual``, ``n_expected``,
+    ``budget``, ``isr``.  Useful in tests and in the per-iteration reports
+    the harness writes.
+    """
+    periods = tick_periods(durations, budget)
+    n_actual = int(periods.size)
+    n_exp = expected_ticks(durations, budget)
+    jitter_sum = (
+        float(np.abs(np.diff(periods)).sum()) if n_actual >= 2 else 0.0
+    )
+    isr = jitter_sum / (n_exp * 2.0 * budget) if n_exp > 0 else 0.0
+    return {
+        "jitter_sum": jitter_sum,
+        "n_actual": float(n_actual),
+        "n_expected": float(n_exp),
+        "budget": float(budget),
+        "isr": isr,
+    }
+
+
+def _self_test() -> None:  # pragma: no cover - debugging helper
+    trace = [50.0] * 100
+    assert math.isclose(instability_ratio(trace, 50.0), 0.0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    _self_test()

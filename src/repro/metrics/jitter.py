@@ -1,0 +1,88 @@
+"""Jitter metrics that ISR is compared against (paper §4.3, Table 6).
+
+Two notions of jitter appear in the paper:
+
+* **cycle-to-cycle jitter** — the absolute difference between consecutive
+  tick durations, the building block of ISR (refs [35, 53]);
+* **RFC 3550 jitter** — the smoothed inter-arrival jitter estimator used in
+  networking (ref [68]), reported as a running average rather than a
+  normalized whole-trace figure.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = [
+    "cycle_to_cycle_jitter",
+    "max_cycle_jitter",
+    "mean_cycle_jitter",
+    "moving_average_jitter",
+    "rfc3550_jitter",
+]
+
+
+def cycle_to_cycle_jitter(values: Sequence[float]) -> np.ndarray:
+    """Return ``|v_i - v_{i-1}|`` for each consecutive pair.
+
+    An input with fewer than two samples has no pairs and yields an empty
+    array.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError("values must be a one-dimensional sequence")
+    if arr.size < 2:
+        return np.empty(0, dtype=float)
+    return np.abs(np.diff(arr))
+
+
+def max_cycle_jitter(values: Sequence[float]) -> float:
+    """Maximum cycle-to-cycle jitter, a common datasheet-style report."""
+    jitter = cycle_to_cycle_jitter(values)
+    return float(jitter.max()) if jitter.size else 0.0
+
+
+def mean_cycle_jitter(values: Sequence[float]) -> float:
+    """Arithmetic mean of cycle-to-cycle jitter."""
+    jitter = cycle_to_cycle_jitter(values)
+    return float(jitter.mean()) if jitter.size else 0.0
+
+
+def moving_average_jitter(
+    values: Sequence[float], window: int = 16
+) -> np.ndarray:
+    """Moving average of cycle-to-cycle jitter over ``window`` pairs.
+
+    The window is truncated at the start of the trace so the output has one
+    entry per jitter sample (same length as ``len(values) - 1``).
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window!r}")
+    jitter = cycle_to_cycle_jitter(values)
+    if jitter.size == 0:
+        return jitter
+    cumsum = np.cumsum(jitter)
+    out = np.empty_like(jitter)
+    for i in range(jitter.size):
+        lo = max(0, i - window + 1)
+        total = cumsum[i] - (cumsum[lo - 1] if lo > 0 else 0.0)
+        out[i] = total / (i - lo + 1)
+    return out
+
+
+def rfc3550_jitter(values: Sequence[float], gain: float = 1.0 / 16.0) -> float:
+    """Final value of the RFC 3550 smoothed jitter estimator.
+
+    ``J_i = J_{i-1} + (|D_i| - J_{i-1}) * gain`` where ``D_i`` is the
+    difference between consecutive transit (here: tick-duration) samples.
+    RFC 3550 uses ``gain = 1/16``.
+    """
+    if not 0.0 < gain <= 1.0:
+        raise ValueError(f"gain must be in (0, 1], got {gain!r}")
+    jitter = cycle_to_cycle_jitter(values)
+    estimate = 0.0
+    for sample in jitter:
+        estimate += (float(sample) - estimate) * gain
+    return estimate

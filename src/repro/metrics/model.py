@@ -1,0 +1,93 @@
+"""Analytic ISR model and synthetic trace generators (paper §4.2, Fig. 6).
+
+The paper analyzes ISR on a trace where one tick in every ``lam`` has
+duration ``s * b`` while the rest take exactly ``b``.  For that family the
+closed form is::
+
+    ISR(s, lam) = (s - 1) / (s + lam - 1)
+
+Fig. 6a plots this for s in {2, 10, 20}; Fig. 6b contrasts two traces with
+identical *distributions* but different *order* (outliers clustered at the
+start vs. spread evenly), showing ISR is order dependent where standard
+deviation is not.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "isr_closed_form",
+    "periodic_outlier_trace",
+    "clustered_outlier_trace",
+    "spread_outlier_trace",
+]
+
+
+def isr_closed_form(s: float, lam: float) -> float:
+    """Closed-form ISR for the periodic-outlier trace model.
+
+    ``s`` is the outlier scaling factor (outlier duration = ``s * b``) and
+    ``lam`` the outlier period in ticks (one outlier every ``lam`` ticks).
+    """
+    if s < 1.0:
+        raise ValueError(f"outlier scale s must be >= 1, got {s!r}")
+    if lam < 1.0:
+        raise ValueError(f"outlier period lam must be >= 1, got {lam!r}")
+    return (s - 1.0) / (s + lam - 1.0)
+
+
+def periodic_outlier_trace(
+    n_ticks: int, lam: int, s: float, budget: float = 50.0
+) -> np.ndarray:
+    """Trace of ``n_ticks`` durations with one ``s*b`` outlier every ``lam``.
+
+    The first outlier lands at index ``lam - 1`` so a trace of exactly
+    ``lam`` ticks contains one outlier, matching the §4.2 model in which a
+    window of ``lam`` ticks holds ``lam - 1`` nominal ticks and one outlier.
+    """
+    if n_ticks < 0:
+        raise ValueError(f"n_ticks must be >= 0, got {n_ticks!r}")
+    if lam < 1:
+        raise ValueError(f"lam must be >= 1, got {lam!r}")
+    trace = np.full(n_ticks, float(budget))
+    trace[lam - 1 :: lam] = s * budget
+    return trace
+
+
+def clustered_outlier_trace(
+    n_ticks: int,
+    n_outliers: int,
+    s: float,
+    budget: float = 50.0,
+    start: int = 0,
+) -> np.ndarray:
+    """Trace with ``n_outliers`` consecutive outliers beginning at ``start``.
+
+    This is Fig. 6b's *Low ISR* trace: the outliers are adjacent, so only two
+    cycle-to-cycle jumps occur (into the cluster and out of it).
+    """
+    if n_outliers < 0 or n_outliers > n_ticks:
+        raise ValueError("n_outliers must be within [0, n_ticks]")
+    if start < 0 or start + n_outliers > n_ticks:
+        raise ValueError("outlier cluster must fit inside the trace")
+    trace = np.full(n_ticks, float(budget))
+    trace[start : start + n_outliers] = s * budget
+    return trace
+
+
+def spread_outlier_trace(
+    n_ticks: int, n_outliers: int, s: float, budget: float = 50.0
+) -> np.ndarray:
+    """Trace with ``n_outliers`` evenly spread outliers (Fig. 6b *High ISR*).
+
+    Outliers are isolated (never adjacent for ``n_outliers <= n_ticks // 2``),
+    so each contributes two full jumps, maximizing ISR for this distribution.
+    """
+    if n_outliers < 0 or n_outliers > n_ticks:
+        raise ValueError("n_outliers must be within [0, n_ticks]")
+    trace = np.full(n_ticks, float(budget))
+    if n_outliers:
+        positions = np.linspace(0, n_ticks - 1, n_outliers + 2)[1:-1]
+        trace[np.round(positions).astype(int)] = s * budget
+    return trace

@@ -1,0 +1,133 @@
+"""Descriptive statistics used throughout the benchmark reports.
+
+These back the box plots of Figures 1, 7, 10, and 12: percentiles, IQR,
+Tukey whiskers (±1.5×IQR bounded by the observed min/max), and the response
+time QoS thresholds from the paper (§3.5.1, refs [38, 46]).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "NOTICEABLE_MS",
+    "UNPLAYABLE_MS",
+    "BoxStats",
+    "box_stats",
+    "iqr",
+    "percentile",
+    "summarize",
+]
+
+#: Latency above which players notice delay (ms).
+NOTICEABLE_MS = 60.0
+#: Latency above which the game is considered unplayable (ms).
+UNPLAYABLE_MS = 118.0
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile ``q`` in ``[0, 100]``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q!r}")
+    return float(np.percentile(arr, q))
+
+
+def iqr(values: Sequence[float]) -> float:
+    """Interquartile range, p75 - p25."""
+    return percentile(values, 75.0) - percentile(values, 25.0)
+
+
+@dataclass(frozen=True)
+class BoxStats:
+    """Five-number box-plot summary plus mean/extremes/whiskers.
+
+    ``whisker_low``/``whisker_high`` follow the paper's figures: ±1.5×IQR
+    beyond the quartiles, bounded by the observed minimum and maximum.
+    ``p5``/``p95`` are carried separately because Figure 7's whiskers use
+    those percentiles instead.
+    """
+
+    count: int
+    mean: float
+    minimum: float
+    p5: float
+    p25: float
+    median: float
+    p75: float
+    p95: float
+    maximum: float
+    whisker_low: float = field(default=float("nan"))
+    whisker_high: float = field(default=float("nan"))
+
+    @property
+    def iqr(self) -> float:
+        return self.p75 - self.p25
+
+    def exceeds_fraction(self, threshold: float) -> float:
+        """This summary cannot recover exceedance; see :func:`summarize`."""
+        raise NotImplementedError(
+            "exceedance needs the raw samples; use summarize()"
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum,
+            "p5": self.p5,
+            "p25": self.p25,
+            "median": self.median,
+            "p75": self.p75,
+            "p95": self.p95,
+            "max": self.maximum,
+            "whisker_low": self.whisker_low,
+            "whisker_high": self.whisker_high,
+        }
+
+
+def box_stats(values: Sequence[float]) -> BoxStats:
+    """Compute a :class:`BoxStats` summary of ``values``."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty sequence")
+    p25 = float(np.percentile(arr, 25.0))
+    p75 = float(np.percentile(arr, 75.0))
+    spread = 1.5 * (p75 - p25)
+    low = float(arr.min())
+    high = float(arr.max())
+    return BoxStats(
+        count=int(arr.size),
+        mean=float(arr.mean()),
+        minimum=low,
+        p5=float(np.percentile(arr, 5.0)),
+        p25=p25,
+        median=float(np.percentile(arr, 50.0)),
+        p75=p75,
+        p95=float(np.percentile(arr, 95.0)),
+        maximum=high,
+        whisker_low=max(low, p25 - spread),
+        whisker_high=min(high, p75 + spread),
+    )
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Box stats plus QoS exceedance fractions, as a plain dict.
+
+    Adds ``frac_noticeable`` and ``frac_unplayable`` — the fraction of
+    samples above the 60 ms / 118 ms response-time thresholds — and
+    ``max_over_mean``, the headline ratio of MF1.
+    """
+    arr = np.asarray(values, dtype=float)
+    stats = box_stats(arr).as_dict()
+    stats["std"] = float(arr.std(ddof=0))
+    stats["frac_noticeable"] = float((arr > NOTICEABLE_MS).mean())
+    stats["frac_unplayable"] = float((arr > UNPLAYABLE_MS).mean())
+    mean = stats["mean"]
+    stats["max_over_mean"] = stats["max"] / mean if mean > 0 else float("inf")
+    return stats

@@ -1,0 +1,63 @@
+"""Minecraft-like game (MLG) server simulator.
+
+Implements the paper's operational model (§2): a chunked modifiable voxel
+world, terrain simulation (lighting, fluids, growth, redstone), entities
+(items, mobs, TNT) with dynamic pathfinding and spawning, a player handler,
+networking queues with a typed packet taxonomy, and a 20 Hz game loop whose
+tick durations emerge from counted work priced by per-variant cost models.
+"""
+
+from repro.mlg.blocks import Block, BlockSpec, spec
+from repro.mlg.constants import (
+    TICK_BUDGET_MS,
+    TICK_BUDGET_US,
+    TICK_RATE_HZ,
+)
+from repro.mlg.entity import Entity, EntityKind
+from repro.mlg.gameloop import TickRecord
+from repro.mlg.protocol import (
+    ActionKind,
+    PacketCategory,
+    PacketStats,
+    PlayerAction,
+)
+from repro.mlg.server import MLGServer
+from repro.mlg.variants import (
+    FORGE,
+    PAPERMC,
+    VANILLA,
+    VariantProfile,
+    get_variant,
+)
+from repro.mlg.workreport import Op, WorkReport
+from repro.mlg.world import BlockChange, Chunk, World
+from repro.mlg.worldgen import PAPER_SEED, TerrainGenerator
+
+__all__ = [
+    "ActionKind",
+    "Block",
+    "BlockChange",
+    "BlockSpec",
+    "Chunk",
+    "Entity",
+    "EntityKind",
+    "FORGE",
+    "MLGServer",
+    "Op",
+    "PAPERMC",
+    "PAPER_SEED",
+    "PacketCategory",
+    "PacketStats",
+    "PlayerAction",
+    "TICK_BUDGET_MS",
+    "TICK_BUDGET_US",
+    "TICK_RATE_HZ",
+    "TerrainGenerator",
+    "TickRecord",
+    "VANILLA",
+    "VariantProfile",
+    "WorkReport",
+    "World",
+    "get_variant",
+    "spec",
+]

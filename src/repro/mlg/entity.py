@@ -1,0 +1,102 @@
+"""Entity model (§2.2.3): anything in the world that is not terrain.
+
+Entities are plain slotted objects updated by the
+:class:`repro.mlg.entity_manager.EntityManager`.  Kinds:
+
+* ``ITEM`` — dropped resources; transported by water flows, merged into
+  stacks by PaperMC's optimization, despawn after five minutes;
+* ``MOB`` — NPCs with wander/goal AI that pathfind over live terrain;
+* ``TNT`` — primed explosives with a fuse (see :mod:`repro.mlg.tnt`);
+* ``PLAYER`` — the server-side avatar of a connected client.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EntityKind", "Entity"]
+
+#: Gravity in blocks per tick squared (Minecraft-like).
+GRAVITY_PER_TICK = 0.08
+#: Horizontal/vertical velocity damping per tick.
+DRAG = 0.98
+
+
+class EntityKind:
+    ITEM = "item"
+    MOB = "mob"
+    TNT = "tnt"
+    PLAYER = "player"
+
+    PHYSICAL = (ITEM, MOB, TNT)
+
+
+class Entity:
+    """One simulated entity; positions in blocks, velocities in blocks/tick."""
+
+    __slots__ = (
+        "eid",
+        "kind",
+        "x",
+        "y",
+        "z",
+        "vx",
+        "vy",
+        "vz",
+        "alive",
+        "age_ticks",
+        "fuse_ticks",
+        "stack_count",
+        "goal",
+        "path",
+        "path_index",
+        "moved",
+    )
+
+    def __init__(
+        self,
+        eid: int,
+        kind: str,
+        x: float,
+        y: float,
+        z: float,
+        vx: float = 0.0,
+        vy: float = 0.0,
+        vz: float = 0.0,
+        fuse_ticks: int = -1,
+        stack_count: int = 1,
+    ) -> None:
+        self.eid = eid
+        self.kind = kind
+        self.x = x
+        self.y = y
+        self.z = z
+        self.vx = vx
+        self.vy = vy
+        self.vz = vz
+        self.alive = True
+        self.age_ticks = 0
+        self.fuse_ticks = fuse_ticks
+        self.stack_count = stack_count
+        #: Optional navigation target for mobs, set by farm constructs.
+        self.goal: tuple[int, int, int] | None = None
+        self.path: list[tuple[int, int, int]] | None = None
+        self.path_index = 0
+        #: True when the last tick changed this entity's position.
+        self.moved = False
+
+    @property
+    def block_pos(self) -> tuple[int, int, int]:
+        """The world block cell the entity currently occupies."""
+        return (int(self.x // 1), int(self.y // 1), int(self.z // 1))
+
+    def distance_sq_to(self, x: float, y: float, z: float) -> float:
+        dx = self.x - x
+        dy = self.y - y
+        dz = self.z - z
+        return dx * dx + dy * dy + dz * dz
+
+    def __repr__(self) -> str:
+        return (
+            f"Entity(eid={self.eid}, kind={self.kind!r}, "
+            f"pos=({self.x:.1f}, {self.y:.1f}, {self.z:.1f}), "
+            f"alive={self.alive})"
+        )

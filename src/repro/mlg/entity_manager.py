@@ -1,0 +1,363 @@
+"""Entity simulation (§2.2.3) — movement, collision, AI, merging, despawn.
+
+The manager keeps all entities as objects but switches to a vectorized
+"swarm" physics path when many physical entities exist (the TNT workload
+spawns thousands at once).  Both paths count the same operations into the
+:class:`WorkReport`; the swarm path computes collision-pair counts from
+spatial-hash bin occupancy instead of enumerating pairs.
+
+PaperMC's entity-handler optimization (paper Appendix A) appears here as
+``merge_items`` (nearby item stacks merge into one entity) and is enabled
+per variant profile.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+
+import numpy as np
+
+from repro.mlg.blocks import Block
+from repro.mlg.constants import ITEM_DESPAWN_S, TICK_RATE_HZ
+from repro.mlg.entity import DRAG, GRAVITY_PER_TICK, Entity, EntityKind
+from repro.mlg.pathfinding import PathFinder
+from repro.mlg.workreport import Op, WorkReport
+from repro.mlg.world import World
+
+__all__ = ["EntityManager"]
+
+#: Entity count beyond which physics is vectorized.
+SWARM_THRESHOLD = 96
+#: Spatial-hash cell edge, in blocks.
+CELL_SIZE = 1.0
+#: Neighbor-cell factor approximating cross-cell collision checks.
+NEIGHBOR_FACTOR = 3.0
+#: Mobs re-path every this many ticks (staggered by entity id).
+REPATH_INTERVAL = 40
+
+_ITEM_DESPAWN_TICKS = int(ITEM_DESPAWN_S * TICK_RATE_HZ)
+
+
+class EntityManager:
+    """Owns and updates all non-player-controlled entities."""
+
+    def __init__(
+        self,
+        world: World,
+        rng: np.random.Generator,
+        merge_items: bool = False,
+        fluid_flow: Callable[[int, int, int], tuple[float, float]] | None = None,
+    ) -> None:
+        self.world = world
+        self.rng = rng
+        self.merge_items = merge_items
+        self.fluid_flow = fluid_flow
+        self.pathfinder = PathFinder(world)
+        self._entities: dict[int, Entity] = {}
+        self._next_eid = 1
+        #: Entities that died this tick (for destroy packets).
+        self.removed_this_tick: list[Entity] = []
+        #: Entities spawned this tick (for spawn packets).
+        self.spawned_this_tick: list[Entity] = []
+        #: Items collected by hoppers/kill zones this tick.
+        self.collected_items = 0
+
+    # -- membership -----------------------------------------------------------
+
+    def spawn(
+        self,
+        kind: str,
+        x: float,
+        y: float,
+        z: float,
+        vx: float = 0.0,
+        vy: float = 0.0,
+        vz: float = 0.0,
+        fuse_ticks: int = -1,
+        stack_count: int = 1,
+    ) -> Entity:
+        """Create and register a new entity."""
+        entity = Entity(
+            self._next_eid, kind, x, y, z, vx, vy, vz, fuse_ticks, stack_count
+        )
+        self._next_eid += 1
+        self._entities[entity.eid] = entity
+        self.spawned_this_tick.append(entity)
+        return entity
+
+    def remove(self, entity: Entity) -> None:
+        """Mark an entity dead; it is reaped at the end of the tick."""
+        if entity.alive:
+            entity.alive = False
+            self.removed_this_tick.append(entity)
+
+    def get(self, eid: int) -> Entity | None:
+        return self._entities.get(eid)
+
+    def all_entities(self) -> Iterable[Entity]:
+        return self._entities.values()
+
+    def count(self, kind: str | None = None) -> int:
+        if kind is None:
+            return len(self._entities)
+        return sum(1 for e in self._entities.values() if e.kind == kind)
+
+    def entities_of(self, kind: str) -> list[Entity]:
+        return [e for e in self._entities.values() if e.kind == kind]
+
+    def entities_near(
+        self, x: float, y: float, z: float, radius: float
+    ) -> list[Entity]:
+        r_sq = radius * radius
+        return [
+            e
+            for e in self._entities.values()
+            if e.alive and e.distance_sq_to(x, y, z) <= r_sq
+        ]
+
+    # -- per-tick update --------------------------------------------------------
+
+    def begin_tick(self) -> None:
+        self.removed_this_tick = []
+        self.spawned_this_tick = []
+        self.collected_items = 0
+
+    def tick(self, report: WorkReport) -> None:
+        """Advance all physical entities by one game tick."""
+        mobs: list[Entity] = []
+        swarm: list[Entity] = []
+        for entity in self._entities.values():
+            if not entity.alive:
+                continue
+            entity.moved = False
+            if entity.kind == EntityKind.MOB:
+                mobs.append(entity)
+            elif entity.kind in (EntityKind.ITEM, EntityKind.TNT):
+                swarm.append(entity)
+        for mob in mobs:
+            self._tick_mob(mob, report)
+        if len(swarm) > SWARM_THRESHOLD:
+            self._tick_swarm_vectorized(swarm, report)
+        else:
+            for entity in swarm:
+                self._tick_physical_scalar(entity, report)
+        self._count_collisions(mobs, swarm, report)
+        if self.merge_items:
+            self._merge_item_stacks(report)
+        self._reap()
+
+    def _reap(self) -> None:
+        dead = [eid for eid, e in self._entities.items() if not e.alive]
+        for eid in dead:
+            del self._entities[eid]
+
+    # -- mob AI ------------------------------------------------------------------
+
+    def _tick_mob(self, mob: Entity, report: WorkReport) -> None:
+        report.add(Op.ENTITY_UPDATE)
+        mob.age_ticks += 1
+        needs_path = (
+            mob.goal is not None
+            and (mob.path is None or mob.path_index >= len(mob.path))
+            and (mob.age_ticks + mob.eid) % REPATH_INTERVAL == 0
+        )
+        if needs_path:
+            result = self.pathfinder.find_path(
+                mob.block_pos, mob.goal, report
+            )
+            mob.path = result.path if result else None
+            mob.path_index = 0
+        if mob.path and mob.path_index < len(mob.path):
+            tx, ty, tz = mob.path[mob.path_index]
+            dx = (tx + 0.5) - mob.x
+            dz = (tz + 0.5) - mob.z
+            dist = max(1e-6, (dx * dx + dz * dz) ** 0.5)
+            speed = 0.15
+            mob.vx = dx / dist * speed
+            mob.vz = dz / dist * speed
+            if dist < 0.4:
+                mob.path_index += 1
+        elif mob.goal is None and (mob.age_ticks + mob.eid) % 60 == 0:
+            # Idle wander impulse.
+            angle = self.rng.random() * 2 * np.pi
+            mob.vx = float(np.cos(angle)) * 0.08
+            mob.vz = float(np.sin(angle)) * 0.08
+        old_x, old_z = mob.x, mob.z
+        self._integrate_scalar(mob)
+        # Entities do not tick in unloaded chunks; keep mobs inside the
+        # loaded world instead of letting them wander off the edge.
+        if not self.world.has_chunk(int(mob.x) >> 4, int(mob.z) >> 4):
+            mob.x, mob.z = old_x, old_z
+            mob.vx = -mob.vx
+            mob.vz = -mob.vz
+
+    # -- scalar physics ------------------------------------------------------------
+
+    def _tick_physical_scalar(self, entity: Entity, report: WorkReport) -> None:
+        if entity.kind == EntityKind.ITEM:
+            report.add(Op.ITEM_UPDATE)
+            entity.age_ticks += 1
+            if entity.age_ticks > _ITEM_DESPAWN_TICKS:
+                self.remove(entity)
+                return
+            self._apply_water_push(entity)
+        else:
+            report.add(Op.TNT_UPDATE)
+            entity.age_ticks += 1
+        self._integrate_scalar(entity)
+
+    def _apply_water_push(self, entity: Entity) -> None:
+        if self.fluid_flow is None:
+            return
+        bx, by, bz = entity.block_pos
+        block = self.world.get_block(bx, by, bz)
+        if block in (Block.WATER_FLOW, Block.WATER_SOURCE):
+            push_x, push_z = self.fluid_flow(bx, by, bz)
+            entity.vx += push_x * 0.014
+            entity.vz += push_z * 0.014
+            entity.vy = max(entity.vy, -0.02)  # buoyancy
+
+    def _integrate_scalar(self, entity: Entity) -> None:
+        entity.vy -= GRAVITY_PER_TICK
+        entity.vx *= DRAG
+        entity.vy *= DRAG
+        entity.vz *= DRAG
+        old = (entity.x, entity.y, entity.z)
+        entity.x += entity.vx
+        entity.z += entity.vz
+        new_y = entity.y + entity.vy
+        ground = self._ground_below(entity.x, entity.y, entity.z)
+        if new_y <= ground:
+            new_y = ground
+            entity.vy = 0.0
+            entity.vx *= 0.6  # ground friction
+            entity.vz *= 0.6
+        entity.y = new_y
+        entity.moved = (
+            abs(entity.x - old[0]) > 1e-3
+            or abs(entity.y - old[1]) > 1e-3
+            or abs(entity.z - old[2]) > 1e-3
+        )
+
+    def _ground_below(self, x: float, y: float, z: float) -> float:
+        """Top surface of the first solid block at or below the entity."""
+        bx, bz = int(x // 1), int(z // 1)
+        start = min(int(y // 1), 127)
+        world = self.world
+        for by in range(start, max(-1, start - 12), -1):
+            if world.is_solid_at(bx, by, bz):
+                return float(by + 1)
+        return float(max(0, start - 12))
+
+    # -- vectorized swarm physics -----------------------------------------------
+
+    def _tick_swarm_vectorized(
+        self, swarm: list[Entity], report: WorkReport
+    ) -> None:
+        n = len(swarm)
+        pos = np.empty((n, 3), dtype=np.float64)
+        vel = np.empty((n, 3), dtype=np.float64)
+        for i, e in enumerate(swarm):
+            pos[i, 0] = e.x
+            pos[i, 1] = e.y
+            pos[i, 2] = e.z
+            vel[i, 0] = e.vx
+            vel[i, 1] = e.vy
+            vel[i, 2] = e.vz
+        vel[:, 1] -= GRAVITY_PER_TICK
+        vel *= DRAG
+        new_pos = pos + vel
+        heights = self.world.column_heights_bulk(
+            np.floor(new_pos[:, 0]).astype(np.int64),
+            np.floor(new_pos[:, 2]).astype(np.int64),
+        ).astype(np.float64)
+        grounded = new_pos[:, 1] <= heights
+        new_pos[grounded, 1] = heights[grounded]
+        vel[grounded, 1] = 0.0
+        vel[grounded, 0] *= 0.6
+        vel[grounded, 2] *= 0.6
+        moved = np.abs(new_pos - pos).max(axis=1) > 1e-3
+        items = 0
+        tnts = 0
+        for i, e in enumerate(swarm):
+            e.x = float(new_pos[i, 0])
+            e.y = float(new_pos[i, 1])
+            e.z = float(new_pos[i, 2])
+            e.vx = float(vel[i, 0])
+            e.vy = float(vel[i, 1])
+            e.vz = float(vel[i, 2])
+            e.moved = bool(moved[i])
+            e.age_ticks += 1
+            if e.kind == EntityKind.ITEM:
+                items += 1
+                if e.age_ticks > _ITEM_DESPAWN_TICKS:
+                    self.remove(e)
+            else:
+                tnts += 1
+        report.add(Op.ITEM_UPDATE, items)
+        report.add(Op.TNT_UPDATE, tnts)
+
+    # -- collision accounting -------------------------------------------------------
+
+    def _cell_keys(self, entities: list[Entity]) -> np.ndarray:
+        keys = np.empty(len(entities), dtype=np.int64)
+        inv = 1.0 / CELL_SIZE
+        for i, e in enumerate(entities):
+            cx = int(e.x * inv)
+            cy = int(e.y * inv)
+            cz = int(e.z * inv)
+            keys[i] = ((cx & 0x1FFFFF) << 42) | ((cy & 0x1FFFFF) << 21) | (
+                cz & 0x1FFFFF
+            )
+        return keys
+
+    def _count_collisions(
+        self, mobs: list[Entity], swarm: list[Entity], report: WorkReport
+    ) -> float:
+        """Count collision-pair checks via spatial-hash occupancy.
+
+        Entities in the same (and, via ``NEIGHBOR_FACTOR``, adjacent) cells
+        are checked pairwise in a real engine; the *number of checks* is the
+        work, so that is what we count.  Crowded cells also get a
+        separation impulse so dense swarms spread out physically.
+        """
+        physical = [e for e in (*mobs, *swarm) if e.alive]
+        if len(physical) < 2:
+            return 0.0
+        keys = self._cell_keys(physical)
+        _, inverse, counts = np.unique(
+            keys, return_inverse=True, return_counts=True
+        )
+        pairs = float((counts * (counts - 1) / 2).sum() * NEIGHBOR_FACTOR)
+        if pairs:
+            report.add(Op.COLLISION_PAIR, pairs)
+        crowded = counts[inverse] > 2
+        if crowded.any():
+            idx = np.flatnonzero(crowded)
+            jitter = self.rng.uniform(-0.04, 0.04, size=(idx.size, 2))
+            for j, i in enumerate(idx):
+                entity = physical[int(i)]
+                entity.vx += float(jitter[j, 0])
+                entity.vz += float(jitter[j, 1])
+        return pairs
+
+    # -- PaperMC item merging -----------------------------------------------------
+
+    def _merge_item_stacks(self, report: WorkReport) -> None:
+        """Merge co-located item entities into stacks (PaperMC behaviour)."""
+        items = [
+            e
+            for e in self._entities.values()
+            if e.alive and e.kind == EntityKind.ITEM
+        ]
+        if len(items) < 2:
+            return
+        by_cell: dict[tuple[int, int, int], Entity] = {}
+        for item in items:
+            cell = (int(item.x), int(item.y), int(item.z))
+            keeper = by_cell.get(cell)
+            if keeper is None:
+                by_cell[cell] = item
+            else:
+                keeper.stack_count += item.stack_count
+                self.remove(item)

@@ -1,0 +1,150 @@
+"""Fluid simulation — cellular water/lava spread (§2.2.2 "Fluids").
+
+Water spreads from source blocks into adjacent air with a decreasing level
+(stored in the block's aux value, 7 at the source's neighbor down to 1),
+and flows downward without level loss.  Flowing water exerts a horizontal
+push on item entities — the transport mechanism the Farm world's kelp farm
+and item sorter rely on (§3.3.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.mlg.blocks import Block
+from repro.mlg.workreport import Op, WorkReport
+from repro.mlg.world import World
+
+__all__ = ["FluidEngine"]
+
+#: Water updates run every 5 game ticks (vanilla's fluid tick rate).
+WATER_TICK_INTERVAL = 5
+#: Maximum horizontal spread level.
+MAX_FLOW_LEVEL = 7
+
+
+class FluidEngine:
+    """Schedules and executes fluid spread updates."""
+
+    def __init__(self, world: World, max_updates_per_tick: int = 4096) -> None:
+        self.world = world
+        self.max_updates_per_tick = max_updates_per_tick
+        self._queue: deque[tuple[int, int, int]] = deque()
+        self._queued: set[tuple[int, int, int]] = set()
+
+    def schedule(self, x: int, y: int, z: int) -> None:
+        """Queue a fluid update at a position (idempotent per tick)."""
+        key = (x, y, z)
+        if key not in self._queued:
+            self._queued.add(key)
+            self._queue.append(key)
+
+    def schedule_neighbors(self, x: int, y: int, z: int) -> None:
+        """Queue updates for fluid blocks adjacent to a changed block."""
+        for nx, ny, nz in self.world.neighbors6(x, y, z):
+            block = self.world.get_block(nx, ny, nz)
+            if block in (Block.WATER_SOURCE, Block.WATER_FLOW, Block.LAVA):
+                self.schedule(nx, ny, nz)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def tick(self, tick_number: int, report: WorkReport) -> int:
+        """Process due fluid updates; returns the number processed."""
+        if tick_number % WATER_TICK_INTERVAL != 0:
+            return 0
+        processed = 0
+        budget = min(len(self._queue), self.max_updates_per_tick)
+        for _ in range(budget):
+            x, y, z = self._queue.popleft()
+            self._queued.discard((x, y, z))
+            self._update_cell(x, y, z, report)
+            processed += 1
+        if processed:
+            report.add(Op.FLUID, processed)
+        return processed
+
+    def _update_cell(self, x: int, y: int, z: int, report: WorkReport) -> None:
+        block = self.world.get_block(x, y, z)
+        if block == Block.WATER_SOURCE:
+            level = MAX_FLOW_LEVEL + 1
+        elif block == Block.WATER_FLOW:
+            level = self.world.get_aux(x, y, z)
+            if not self._is_supported(x, y, z):
+                self.world.set_block(x, y, z, Block.AIR)
+                report.add(Op.BLOCK_ADD_REMOVE)
+                self.schedule_neighbors(x, y, z)
+                return
+        else:
+            return
+        # Flow down first (full strength), then sideways with decay.
+        below = self.world.get_block(x, y - 1, z)
+        if below == Block.AIR and y - 1 >= 0:
+            self.world.set_block(x, y - 1, z, Block.WATER_FLOW,
+                                 aux=MAX_FLOW_LEVEL)
+            report.add(Op.BLOCK_ADD_REMOVE)
+            self.schedule(x, y - 1, z)
+            return
+        next_level = level - 1
+        if next_level <= 0:
+            return
+        for nx, nz in ((x + 1, z), (x - 1, z), (x, z + 1), (x, z - 1)):
+            neighbor = self.world.get_block(nx, y, nz)
+            if neighbor == Block.AIR:
+                self.world.set_block(nx, y, nz, Block.WATER_FLOW,
+                                     aux=next_level)
+                report.add(Op.BLOCK_ADD_REMOVE)
+                self.schedule(nx, y, nz)
+            elif (
+                neighbor == Block.WATER_FLOW
+                and self.world.get_aux(nx, y, nz) < next_level
+            ):
+                self.world.set_aux(nx, y, nz, next_level)
+                self.schedule(nx, y, nz)
+
+    def _is_supported(self, x: int, y: int, z: int) -> bool:
+        """A flow block survives only while fed by a higher-level neighbor."""
+        my_level = self.world.get_aux(x, y, z)
+        above = self.world.get_block(x, y + 1, z)
+        if above in (Block.WATER_SOURCE, Block.WATER_FLOW):
+            return True
+        for nx, nz in ((x + 1, z), (x - 1, z), (x, z + 1), (x, z - 1)):
+            neighbor = self.world.get_block(nx, y, nz)
+            if neighbor == Block.WATER_SOURCE:
+                return True
+            if (
+                neighbor == Block.WATER_FLOW
+                and self.world.get_aux(nx, y, nz) > my_level
+            ):
+                return True
+        return False
+
+    # -- item transport -------------------------------------------------------
+
+    def flow_vector(self, x: int, y: int, z: int) -> tuple[float, float]:
+        """Horizontal push (blocks/s) that water at a position applies.
+
+        Flowing water pushes towards its lowest-level neighbor; source and
+        still water push nowhere.
+        """
+        block = self.world.get_block(x, y, z)
+        if block != Block.WATER_FLOW:
+            return (0.0, 0.0)
+        my_level = self.world.get_aux(x, y, z)
+        best = (0.0, 0.0)
+        best_level = my_level
+        for dx, dz in ((1, 0), (-1, 0), (0, 1), (0, -1)):
+            nx, nz = x + dx, z + dz
+            neighbor = self.world.get_block(nx, y, nz)
+            if neighbor == Block.WATER_FLOW:
+                level = self.world.get_aux(nx, y, nz)
+                if level < best_level:
+                    best_level = level
+                    best = (float(dx), float(dz))
+            elif neighbor == Block.AIR and self.world.get_block(
+                nx, y - 1, nz
+            ) in (Block.WATER_FLOW, Block.WATER_SOURCE):
+                return (float(dx) * 2.0, float(dz) * 2.0)
+        scale = 1.4
+        return (best[0] * scale, best[1] * scale)

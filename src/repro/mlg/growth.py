@@ -1,0 +1,125 @@
+"""Plant growth via random ticks (§2.2.2 "Plant Growth").
+
+Each loaded chunk receives ``RANDOM_TICK_SPEED`` random block ticks per game
+tick; crops advance growth stages, kelp grows upward through water, and
+saplings become trees.  Growth reshapes terrain over time, generating new
+workload without player input — one of the paper's environment-based
+workload sources.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mlg.blocks import Block
+from repro.mlg.constants import (
+    CHUNK_SIZE,
+    RANDOM_TICK_SPEED,
+    SEA_LEVEL,
+    WORLD_HEIGHT,
+)
+from repro.mlg.workreport import Op, WorkReport
+from repro.mlg.world import World
+
+__all__ = ["GrowthEngine", "CROP_MATURE_STAGE"]
+
+#: Crops are harvestable at this aux stage.
+CROP_MATURE_STAGE = 7
+#: Maximum kelp stalk height.
+KELP_MAX_HEIGHT = 12
+
+
+class GrowthEngine:
+    """Applies random ticks to loaded chunks."""
+
+    def __init__(self, world: World, rng: np.random.Generator) -> None:
+        self.world = world
+        self.rng = rng
+        #: Positions where a crop matured this tick (harvesters consume).
+        self.matured: list[tuple[int, int, int]] = []
+
+    def tick(self, report: WorkReport) -> int:
+        """Run random ticks on every loaded chunk; returns ticks applied."""
+        self.matured.clear()
+        applied = 0
+        chunks = list(self.world.loaded_chunks())
+        if not chunks:
+            return 0
+        # Vectorized draw of all random positions for all chunks at once.
+        n = len(chunks) * RANDOM_TICK_SPEED
+        lxs = self.rng.integers(0, CHUNK_SIZE, size=n)
+        lzs = self.rng.integers(0, CHUNK_SIZE, size=n)
+        ys = self.rng.integers(0, WORLD_HEIGHT, size=n)
+        for i, chunk in enumerate(chunks):
+            base = i * RANDOM_TICK_SPEED
+            for j in range(RANDOM_TICK_SPEED):
+                lx = int(lxs[base + j])
+                lz = int(lzs[base + j])
+                y = int(ys[base + j])
+                block = int(chunk.blocks[lx, lz, y])
+                applied += 1
+                if block == Block.CROP:
+                    self._grow_crop(chunk, lx, lz, y)
+                elif block == Block.KELP:
+                    self._grow_kelp(chunk, lx, lz, y, report)
+                elif block == Block.SAPLING:
+                    self._grow_sapling(chunk, lx, lz, y, report)
+        report.add(Op.GROWTH, applied)
+        return applied
+
+    def _grow_crop(self, chunk, lx: int, lz: int, y: int) -> None:
+        stage = int(chunk.aux[lx, lz, y])
+        if stage < CROP_MATURE_STAGE:
+            chunk.aux[lx, lz, y] = stage + 1
+            chunk.dirty = True
+            if stage + 1 == CROP_MATURE_STAGE:
+                x = chunk.cx * CHUNK_SIZE + lx
+                z = chunk.cz * CHUNK_SIZE + lz
+                self.matured.append((x, y, z))
+
+    def _grow_kelp(
+        self, chunk, lx: int, lz: int, y: int, report: WorkReport
+    ) -> None:
+        # Kelp grows one block up through water, bounded by stalk height.
+        top = y
+        while (
+            top + 1 < WORLD_HEIGHT
+            and chunk.blocks[lx, lz, top + 1] == Block.KELP
+        ):
+            top += 1
+        base = y
+        while base > 0 and chunk.blocks[lx, lz, base - 1] == Block.KELP:
+            base -= 1
+        if top - base + 1 >= KELP_MAX_HEIGHT:
+            return
+        above = top + 1
+        if (
+            above < min(SEA_LEVEL, WORLD_HEIGHT)
+            and chunk.blocks[lx, lz, above] == Block.WATER_SOURCE
+        ):
+            x = chunk.cx * CHUNK_SIZE + lx
+            z = chunk.cz * CHUNK_SIZE + lz
+            self.world.set_block(x, above, z, Block.KELP)
+            report.add(Op.BLOCK_ADD_REMOVE)
+
+    def _grow_sapling(
+        self, chunk, lx: int, lz: int, y: int, report: WorkReport
+    ) -> None:
+        if self.rng.random() > 0.2 or y + 6 >= WORLD_HEIGHT:
+            return
+        x = chunk.cx * CHUNK_SIZE + lx
+        z = chunk.cz * CHUNK_SIZE + lz
+        for dy in range(5):
+            self.world.set_block(x, y + dy, z, Block.WOOD)
+        for dx in range(-2, 3):
+            for dz in range(-2, 3):
+                for dy in range(3, 6):
+                    if abs(dx) + abs(dz) + abs(dy - 4) <= 4:
+                        if (
+                            self.world.get_block(x + dx, y + dy, z + dz)
+                            == Block.AIR
+                        ):
+                            self.world.set_block(
+                                x + dx, y + dy, z + dz, Block.LEAVES
+                            )
+        report.add(Op.BLOCK_ADD_REMOVE, 5 + 20)

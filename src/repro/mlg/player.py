@@ -1,0 +1,196 @@
+"""Player handler — component 4 of the operational model (Fig. 4).
+
+Processes the actions drained from the input queue once per tick: movement
+(validated against terrain collision), building/digging (terrain writes that
+trigger relighting and fluid updates), and chat (delegated to the chat
+subsystem).  Also owns view management: connecting or moving across a chunk
+border loads — and lazily generates — the chunks in view distance, the
+source of the paper's connect-time response spikes (§5.2: "these outliers
+occur directly after a player connects").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mlg.chat import ChatSystem
+from repro.mlg.constants import DEFAULT_VIEW_DISTANCE
+from repro.mlg.fluids import FluidEngine
+from repro.mlg.lighting import LightEngine
+from repro.mlg.netqueue import NetworkQueues
+from repro.mlg.protocol import ActionKind, PacketCategory, PlayerAction
+from repro.mlg.workreport import Op, WorkReport
+from repro.mlg.world import World
+
+__all__ = ["PlayerConnection", "PlayerHandler"]
+
+
+@dataclass
+class PlayerConnection:
+    """Server-side state of one connected player."""
+
+    client_id: int
+    name: str
+    x: float
+    y: float
+    z: float
+    view_distance: int = DEFAULT_VIEW_DISTANCE
+    loaded_chunks: set[tuple[int, int]] = field(default_factory=set)
+    moved_this_tick: bool = False
+    actions_processed: int = 0
+
+    @property
+    def chunk_pos(self) -> tuple[int, int]:
+        return int(self.x) >> 4, int(self.z) >> 4
+
+
+class PlayerHandler:
+    """Applies player actions to the game state."""
+
+    def __init__(
+        self,
+        world: World,
+        lights: LightEngine,
+        fluids: FluidEngine,
+        net: NetworkQueues,
+        chat: ChatSystem,
+    ) -> None:
+        self.world = world
+        self.lights = lights
+        self.fluids = fluids
+        self.net = net
+        self.chat = chat
+        self.players: dict[int, PlayerConnection] = {}
+
+    # -- connection lifecycle -----------------------------------------------------
+
+    def connect(
+        self,
+        client_id: int,
+        name: str,
+        x: float,
+        z: float,
+        report: WorkReport,
+        view_distance: int = DEFAULT_VIEW_DISTANCE,
+    ) -> PlayerConnection:
+        """Join a player at ground level of ``(x, z)`` and load their view.
+
+        Loading generates missing chunks and ships chunk data — the big
+        burst of work behind connect-time latency spikes.
+        """
+        self.world.ensure_chunk(int(x) >> 4, int(z) >> 4)
+        ground = self.world.column_height(int(x), int(z))
+        conn = PlayerConnection(
+            client_id, name, x, float(max(ground, 1)), z, view_distance
+        )
+        self.players[client_id] = conn
+        self._load_view(conn, report)
+        # Announce the new player to everyone already connected.
+        self.net.broadcast_counted(PacketCategory.PLAYER_INFO, 1, report)
+        return conn
+
+    def disconnect(self, client_id: int) -> None:
+        self.players.pop(client_id, None)
+
+    def positions(self) -> list[tuple[float, float, float]]:
+        return [(p.x, p.y, p.z) for p in self.players.values()]
+
+    def _load_view(self, conn: PlayerConnection, report: WorkReport) -> int:
+        """Load/generate every chunk within view distance; returns new count."""
+        ccx, ccz = conn.chunk_pos
+        view = conn.view_distance
+        newly_loaded = 0
+        for cx in range(ccx - view, ccx + view + 1):
+            for cz in range(ccz - view, ccz + view + 1):
+                if (cx, cz) in conn.loaded_chunks:
+                    continue
+                was_present = self.world.has_chunk(cx, cz)
+                chunk = self.world.ensure_chunk(cx, cz)
+                if not was_present:
+                    report.add(Op.CHUNK_GEN)
+                    self.lights.light_chunk(chunk, report)
+                else:
+                    report.add(Op.CHUNK_LOAD)
+                conn.loaded_chunks.add((cx, cz))
+                self.net.send_counted(
+                    conn.client_id, PacketCategory.CHUNK_DATA, 1, report
+                )
+                newly_loaded += 1
+        return newly_loaded
+
+    # -- action processing ----------------------------------------------------------
+
+    def process_actions(
+        self, actions: list[PlayerAction], report: WorkReport
+    ) -> int:
+        """Apply this tick's drained actions; returns the processed count."""
+        for conn in self.players.values():
+            conn.moved_this_tick = False
+        processed = 0
+        for action in actions:
+            conn = self.players.get(action.client_id)
+            if conn is None:
+                continue
+            report.add(Op.PLAYER_ACTION)
+            conn.actions_processed += 1
+            if action.kind == ActionKind.MOVE:
+                self._apply_move(conn, action, report)
+            elif action.kind == ActionKind.BUILD:
+                self._apply_build(conn, action, report)
+            elif action.kind == ActionKind.DIG:
+                self._apply_dig(conn, action, report)
+            elif action.kind == ActionKind.CHAT:
+                probe_id, _ = action.payload
+                self.chat.submit(action.client_id, probe_id, 0, report)
+            processed += 1
+        return processed
+
+    def _apply_move(
+        self, conn: PlayerConnection, action: PlayerAction, report: WorkReport
+    ) -> None:
+        """Validate and apply a movement: the body must fit at the target."""
+        tx, ty, tz = action.payload
+        bx, by, bz = int(tx), int(ty), int(tz)
+        # Collision reads against the terrain in the player's vicinity.
+        if self.world.is_solid_at(bx, by, bz) or self.world.is_solid_at(
+            bx, by + 1, bz
+        ):
+            return  # rejected: target obstructed
+        old_chunk = conn.chunk_pos
+        conn.x, conn.y, conn.z = float(tx), float(ty), float(tz)
+        conn.moved_this_tick = True
+        if conn.chunk_pos != old_chunk:
+            self._load_view(conn, report)
+
+    def _apply_build(
+        self, conn: PlayerConnection, action: PlayerAction, report: WorkReport
+    ) -> None:
+        x, y, z, block_id = action.payload
+        if self.world.is_solid_at(x, y, z):
+            return  # cannot place into a solid block
+        change = self.world.set_block(x, y, z, block_id)
+        if change is not None:
+            report.add(Op.BLOCK_ADD_REMOVE)
+            self.lights.relight_around(x, y, z, report)
+            self.fluids.schedule_neighbors(x, y, z)
+
+    def _apply_dig(
+        self, conn: PlayerConnection, action: PlayerAction, report: WorkReport
+    ) -> None:
+        x, y, z = action.payload
+        if self.world.get_block(x, y, z) == 0:
+            return
+        change = self.world.set_block(x, y, z, 0)
+        if change is not None:
+            report.add(Op.BLOCK_ADD_REMOVE)
+            self.lights.relight_around(x, y, z, report)
+            self.fluids.schedule_neighbors(x, y, z)
+
+    # -- per-tick broadcasts -----------------------------------------------------------
+
+    def broadcast_movement(self, report: WorkReport) -> int:
+        """Send avatar movement of each moved player to every other player."""
+        movers = sum(1 for p in self.players.values() if p.moved_this_tick)
+        if movers:
+            self.net.broadcast_counted(PacketCategory.ENTITY_MOVE, movers, report)
+        return movers * max(0, len(self.players) - 1)

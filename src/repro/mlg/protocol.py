@@ -1,0 +1,172 @@
+"""Client↔server protocol model: packet categories, sizes, and statistics.
+
+The paper's Table 8 splits server→client traffic into entity-related and
+other messages, by *count* ("computation") and by *bytes* ("communication").
+We model the Minecraft protocol's packet taxonomy with realistic relative
+sizes: entity updates are numerous but tiny; chunk data is rare but large.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "PacketCategory",
+    "PACKET_SIZES",
+    "PacketStats",
+    "PlayerAction",
+    "ActionKind",
+]
+
+
+class PacketCategory:
+    """Server→client packet categories."""
+
+    ENTITY_SPAWN = "entity_spawn"
+    ENTITY_MOVE = "entity_move"
+    ENTITY_VELOCITY = "entity_velocity"
+    ENTITY_DESTROY = "entity_destroy"
+    BLOCK_CHANGE = "block_change"
+    CHUNK_DATA = "chunk_data"
+    CHUNK_SECTION = "chunk_section"
+    LIGHT_UPDATE = "light_update"
+    SOUND_EFFECT = "sound_effect"
+    BLOCK_ENTITY_DATA = "block_entity_data"
+    CHAT = "chat"
+    KEEPALIVE = "keepalive"
+    TIME_UPDATE = "time_update"
+    PLAYER_INFO = "player_info"
+
+    ALL = (
+        ENTITY_SPAWN,
+        ENTITY_MOVE,
+        ENTITY_VELOCITY,
+        ENTITY_DESTROY,
+        BLOCK_CHANGE,
+        CHUNK_DATA,
+        CHUNK_SECTION,
+        LIGHT_UPDATE,
+        SOUND_EFFECT,
+        BLOCK_ENTITY_DATA,
+        CHAT,
+        KEEPALIVE,
+        TIME_UPDATE,
+        PLAYER_INFO,
+    )
+
+    ENTITY_RELATED = frozenset(
+        {ENTITY_SPAWN, ENTITY_MOVE, ENTITY_VELOCITY, ENTITY_DESTROY}
+    )
+
+
+#: Wire sizes in bytes (header + payload, post-compression estimates).
+PACKET_SIZES: dict[str, int] = {
+    PacketCategory.ENTITY_SPAWN: 38,
+    PacketCategory.ENTITY_MOVE: 13,
+    PacketCategory.ENTITY_VELOCITY: 11,
+    PacketCategory.ENTITY_DESTROY: 9,
+    PacketCategory.BLOCK_CHANGE: 12,
+    PacketCategory.CHUNK_DATA: 13_000,
+    PacketCategory.CHUNK_SECTION: 1_400,
+    PacketCategory.LIGHT_UPDATE: 180,
+    PacketCategory.SOUND_EFFECT: 38,
+    PacketCategory.BLOCK_ENTITY_DATA: 62,
+    PacketCategory.CHAT: 72,
+    PacketCategory.KEEPALIVE: 9,
+    PacketCategory.TIME_UPDATE: 17,
+    PacketCategory.PLAYER_INFO: 44,
+}
+
+
+@dataclass
+class PacketStats:
+    """Accumulator of packet counts and bytes by category."""
+
+    counts: dict[str, int] = field(default_factory=dict)
+    bytes_: dict[str, int] = field(default_factory=dict)
+
+    def record(self, category: str, n: int = 1, size: int | None = None) -> int:
+        """Record ``n`` packets; returns the bytes added."""
+        if n < 0:
+            raise ValueError(f"packet count must be >= 0, got {n!r}")
+        if n == 0:
+            return 0
+        each = PACKET_SIZES[category] if size is None else size
+        self.counts[category] = self.counts.get(category, 0) + n
+        total = each * n
+        self.bytes_[category] = self.bytes_.get(category, 0) + total
+        return total
+
+    @property
+    def total_count(self) -> int:
+        return sum(self.counts.values())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_.values())
+
+    def entity_share(self) -> tuple[float, float]:
+        """Fraction of (message count, bytes) that is entity-related.
+
+        These are the paper's Table 8 "Computation" and "Communication"
+        columns, as fractions in [0, 1].
+        """
+        total_n = self.total_count
+        total_b = self.total_bytes
+        if total_n == 0:
+            return (0.0, 0.0)
+        entity_n = sum(
+            n
+            for cat, n in self.counts.items()
+            if cat in PacketCategory.ENTITY_RELATED
+        )
+        entity_b = sum(
+            b
+            for cat, b in self.bytes_.items()
+            if cat in PacketCategory.ENTITY_RELATED
+        )
+        return (entity_n / total_n, entity_b / max(1, total_b))
+
+    def merge(self, other: "PacketStats") -> None:
+        for cat, n in other.counts.items():
+            self.counts[cat] = self.counts.get(cat, 0) + n
+        for cat, b in other.bytes_.items():
+            self.bytes_[cat] = self.bytes_.get(cat, 0) + b
+
+
+class ActionKind:
+    """Client→server action types (the player workload vocabulary)."""
+
+    MOVE = "move"
+    BUILD = "build"
+    DIG = "dig"
+    CHAT = "chat"
+
+
+@dataclass(frozen=True)
+class PlayerAction:
+    """One client→server action, as buffered by the input queue.
+
+    ``payload`` semantics by kind:
+
+    * MOVE  — target position ``(x, y, z)`` floats;
+    * BUILD — ``(x, y, z, block_id)``;
+    * DIG   — ``(x, y, z)``;
+    * CHAT  — ``(probe_id, text_len)`` for response-time probes.
+    """
+
+    kind: str
+    client_id: int
+    payload: tuple
+
+    #: Approximate uplink wire size by action kind.
+    _SIZES = {
+        ActionKind.MOVE: 21,
+        ActionKind.BUILD: 16,
+        ActionKind.DIG: 14,
+        ActionKind.CHAT: 68,
+    }
+
+    @property
+    def size_bytes(self) -> int:
+        return self._SIZES.get(self.kind, 16)

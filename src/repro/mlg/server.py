@@ -1,0 +1,240 @@
+"""The MLG server facade — the system under test (Fig. 5, component 6).
+
+Wires together the world, terrain-simulation engines, entity system,
+networking queues, chat, player handler, and game loop for one variant
+running on one machine model.  The benchmark harness talks to this class;
+bots connect through :meth:`connect_client` and :meth:`submit_action`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.mlg.chat import ChatSystem
+from repro.mlg.constants import DEFAULT_VIEW_DISTANCE
+from repro.mlg.entity_manager import EntityManager
+from repro.mlg.fluids import FluidEngine
+from repro.mlg.gameloop import GameLoop, TickRecord
+from repro.mlg.growth import GrowthEngine
+from repro.mlg.lighting import LightEngine
+from repro.mlg.netqueue import NetworkQueues
+from repro.mlg.player import PlayerConnection, PlayerHandler
+from repro.mlg.protocol import PlayerAction
+from repro.mlg.redstone import RedstoneEngine
+from repro.mlg.spawning import SpawnEngine
+from repro.mlg.tnt import TNTSystem
+from repro.mlg.variants import VariantProfile, get_variant
+from repro.mlg.workreport import WorkReport
+from repro.mlg.world import World
+from repro.simtime import SimClock, s_to_us
+
+__all__ = ["MLGServer"]
+
+#: Autosave interval (simulated seconds) — feeds the disk-I/O metric.
+AUTOSAVE_INTERVAL_S = 45.0
+
+#: Hook signature: (server, tick_index, report) -> None.
+TickHook = Callable[["MLGServer", int, WorkReport], None]
+
+
+class MLGServer:
+    """One Minecraft-like game server instance under simulation."""
+
+    def __init__(
+        self,
+        variant: VariantProfile | str,
+        machine,
+        world: World | None = None,
+        clock: SimClock | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.variant = (
+            get_variant(variant) if isinstance(variant, str) else variant
+        )
+        self.machine = machine
+        self.clock = clock if clock is not None else SimClock()
+        self.rng = np.random.default_rng(seed)
+        self.world = world if world is not None else World()
+
+        self.lights = LightEngine(self.world)
+        self.fluids = FluidEngine(self.world)
+        self.growth = GrowthEngine(self.world, self.rng)
+        self.redstone = RedstoneEngine(self.world)
+        self.entities = EntityManager(
+            self.world,
+            self.rng,
+            merge_items=self.variant.merge_items,
+            fluid_flow=self.fluids.flow_vector,
+        )
+        self.tnt = TNTSystem(self.world, self.entities, self.rng)
+        self.spawning = SpawnEngine(
+            self.world, self.lights, self.entities, self.rng
+        )
+        self.net = NetworkQueues()
+        self.chat = ChatSystem(self.net, async_mode=self.variant.async_chat)
+        self.players = PlayerHandler(
+            self.world, self.lights, self.fluids, self.net, self.chat
+        )
+        self.loop = GameLoop(self)
+
+        self.tick_hooks: list[TickHook] = []
+        self.running = False
+        self.crashed = False
+        self.crash_reason: str | None = None
+        self._next_client_id = 1
+        self._had_clients = False
+        self._pending_join_work: WorkReport | None = None
+        self._last_autosave_us = 0
+        #: Cumulative bytes "written to disk" by autosaves.
+        self.disk_bytes_written = 0
+        self.disk_bytes_read = 0
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def start(self) -> None:
+        self.running = True
+
+    def stop(self, reason: str | None = None) -> None:
+        self.running = False
+        if reason is not None:
+            self.crashed = True
+            self.crash_reason = reason
+
+    def add_tick_hook(self, hook: TickHook) -> None:
+        """Register a per-tick workload hook (ignition timers, etc.)."""
+        self.tick_hooks.append(hook)
+
+    # -- client API (used by the player-emulation bots) ----------------------------------
+
+    def connect_client(
+        self,
+        name: str,
+        x: float,
+        z: float,
+        latency_up_us: int,
+        latency_down_us: int,
+        view_distance: int = DEFAULT_VIEW_DISTANCE,
+    ) -> PlayerConnection:
+        """Connect a client; chunk loading is charged to the *next* tick.
+
+        Returns the server-side player connection (its ``client_id`` is the
+        handle bots keep).
+        """
+        client_id = self._next_client_id
+        self._next_client_id += 1
+        self.net.register_client(
+            client_id, self.clock.now_us, latency_up_us, latency_down_us
+        )
+        self._had_clients = True
+        # The join itself is processed by the player handler immediately,
+        # but its work is charged to the join tick via a pending report.
+        report = WorkReport()
+        conn = self.players.connect(
+            client_id, name, x, z, report, view_distance
+        )
+        if self._pending_join_work is None:
+            self._pending_join_work = report
+        else:
+            self._pending_join_work.merge(report)
+        return conn
+
+    def submit_action(self, action: PlayerAction, sent_at_us: int) -> int:
+        """Client sends an action; returns its server arrival time (µs).
+
+        Chat takes a fast path on async-chat variants (PaperMC): the
+        dedicated chat thread answers on arrival instead of waiting for the
+        tick — which is why the paper excludes PaperMC from Figure 7.
+        """
+        from repro.mlg.protocol import ActionKind
+
+        if action.kind == ActionKind.CHAT and self.chat.async_mode:
+            endpoint = self.net.client(action.client_id)
+            if endpoint is None or endpoint.disconnected:
+                return -1
+            arrival = sent_at_us + endpoint.latency_up_us
+            probe_id, _ = action.payload
+            # Off-thread work: negligible tick cost, but the packets count.
+            report = WorkReport()
+            self.chat.submit(action.client_id, probe_id, arrival, report)
+            return arrival
+        return self.net.submit_action(action, sent_at_us)
+
+    def on_client_timeout(self, client_id: int) -> None:
+        """A client timed out; a full-lobby timeout is a server crash."""
+        self.players.disconnect(client_id)
+        if self._had_clients and self.net.connected_count == 0:
+            self.stop(reason="all clients timed out (keepalive)")
+
+    # -- tick driving --------------------------------------------------------------------
+
+    def tick(self) -> TickRecord:
+        """Run one tick (injecting any pending join work first)."""
+        pending = self._pending_join_work
+        if pending is not None:
+
+            def _inject(server, tick_index, report, _work=pending):
+                report.merge(_work)
+
+            self.tick_hooks.insert(0, _inject)
+            record = self.loop.run_tick()
+            self.tick_hooks.pop(0)
+            self._pending_join_work = None
+        else:
+            record = self.loop.run_tick()
+        self._maybe_autosave()
+        return record
+
+    def run_for(self, sim_seconds: float, max_ticks: int | None = None) -> list[TickRecord]:
+        """Tick until ``sim_seconds`` of simulated time pass (or crash)."""
+        deadline = self.clock.now_us + s_to_us(sim_seconds)
+        records: list[TickRecord] = []
+        self.start()
+        while self.clock.now_us < deadline and self.running:
+            records.append(self.tick())
+            if self.crashed:
+                break
+            if max_ticks is not None and len(records) >= max_ticks:
+                break
+        self.running = False
+        return records
+
+    def _maybe_autosave(self) -> None:
+        now = self.clock.now_us
+        if now - self._last_autosave_us >= s_to_us(AUTOSAVE_INTERVAL_S):
+            dirty = sum(1 for c in self.world.loaded_chunks() if c.dirty)
+            self.disk_bytes_written += dirty * 4096
+            for chunk in self.world.loaded_chunks():
+                chunk.dirty = False
+            self._last_autosave_us = now
+
+    # -- introspection (used by collectors) ------------------------------------------------
+
+    @property
+    def tick_records(self) -> list[TickRecord]:
+        return self.loop.records
+
+    def tick_durations_ms(self) -> list[float]:
+        return [r.duration_ms for r in self.loop.records]
+
+    def memory_bytes(self) -> int:
+        """Approximate process memory: base JVM + world + entities."""
+        base = 600 * 1024 * 1024
+        per_entity = 2048
+        return (
+            base
+            + self.world.nbytes
+            + self.entities.count() * per_entity
+        )
+
+    @property
+    def thread_count(self) -> int:
+        return self.variant.thread_count
+
+    @property
+    def overloaded_fraction(self) -> float:
+        records = self.loop.records
+        if not records:
+            return 0.0
+        return sum(1 for r in records if r.overloaded) / len(records)

@@ -1,0 +1,208 @@
+"""Dynamic mob spawning (§2.2.3).
+
+MLGs cannot pre-place spawn points: terrain modification may obstruct them,
+so spawn positions are computed dynamically every tick — light level, floor
+solidity, and body room are checked against the live world.  Farm constructs
+register *spawn platforms* (dark rooms engineered for high spawn rates) that
+feed mobs toward a funnel goal where they are killed for drops — the
+mechanism behind the Farm world's entity farms (Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.mlg.blocks import Block
+from repro.mlg.constants import MOB_CAP, MOB_SPAWN_LIGHT_MAX
+from repro.mlg.entity import Entity, EntityKind
+from repro.mlg.entity_manager import EntityManager
+from repro.mlg.lighting import LightEngine
+from repro.mlg.workreport import Op, WorkReport
+from repro.mlg.world import World
+
+__all__ = ["SpawnEngine", "SpawnPlatform"]
+
+#: Natural spawn attempts per player per tick.
+NATURAL_ATTEMPTS_PER_PLAYER = 3
+#: Natural spawn radius around players (min, max), in blocks.
+NATURAL_RADIUS = (12, 48)
+#: Fraction of natural attempts that try passive (daylight) mobs.
+PASSIVE_ATTEMPT_FRACTION = 0.3
+
+
+@dataclass
+class SpawnPlatform:
+    """A farm spawning room: bounded area with boosted spawn attempts.
+
+    ``goal`` is where spawned mobs navigate to (the farm's kill chamber);
+    mobs reaching it are killed and drop ``drops_per_kill`` item entities.
+    """
+
+    x0: int
+    z0: int
+    x1: int
+    z1: int
+    y: int
+    attempts_per_tick: float = 0.5
+    local_cap: int = 12
+    goal: tuple[int, int, int] | None = None
+    drops_per_kill: int = 2
+    #: Hoppers under the kill chamber collect drops after this many ticks.
+    collect_after_ticks: int = 120
+    #: Fractional-attempt accumulator.
+    _accumulator: float = field(default=0.0, repr=False)
+    #: Live mobs owned by this platform.
+    _mobs: list[Entity] = field(default_factory=list, repr=False)
+
+    def contains(self, x: float, z: float) -> bool:
+        return self.x0 <= x <= self.x1 and self.z0 <= z <= self.z1
+
+
+class SpawnEngine:
+    """Executes natural and platform spawning each tick."""
+
+    def __init__(
+        self,
+        world: World,
+        lights: LightEngine,
+        entities: EntityManager,
+        rng: np.random.Generator,
+    ) -> None:
+        self.world = world
+        self.lights = lights
+        self.entities = entities
+        self.rng = rng
+        self.platforms: list[SpawnPlatform] = []
+        #: Kills performed at platform goals (exposed to collectors).
+        self.kills_total = 0
+
+    def add_platform(self, platform: SpawnPlatform) -> SpawnPlatform:
+        self.platforms.append(platform)
+        return platform
+
+    # -- spawn-point validity ----------------------------------------------------
+
+    def can_spawn_at(
+        self, x: int, y: int, z: int, passive: bool = False
+    ) -> bool:
+        """Dynamic spawn-point check: floor, room, and light.
+
+        Hostile mobs need darkness; passive (animal) mobs need daylight —
+        both checks read the live lighting state because terrain changes
+        move shadows.
+        """
+        world = self.world
+        if not world.is_solid_at(x, y - 1, z):
+            return False
+        if world.is_solid_at(x, y, z) or world.is_solid_at(x, y + 1, z):
+            return False
+        if world.get_block(x, y, z) != Block.AIR:
+            return False
+        light = self.lights.light_at(x, y, z)
+        if passive:
+            return light >= MOB_SPAWN_LIGHT_MAX
+        return light < MOB_SPAWN_LIGHT_MAX
+
+    # -- per-tick ------------------------------------------------------------------
+
+    def tick(
+        self,
+        player_positions: list[tuple[float, float, float]],
+        report: WorkReport,
+    ) -> int:
+        """Run all spawn attempts for this tick; returns mobs spawned."""
+        spawned = self._natural_spawning(player_positions, report)
+        spawned += self._platform_spawning(report)
+        self._platform_kills(report)
+        return spawned
+
+    def _natural_spawning(
+        self,
+        player_positions: list[tuple[float, float, float]],
+        report: WorkReport,
+    ) -> int:
+        if not player_positions:
+            return 0
+        mob_count = self.entities.count(EntityKind.MOB)
+        spawned = 0
+        r_lo, r_hi = NATURAL_RADIUS
+        for px, py, pz in player_positions:
+            for _ in range(NATURAL_ATTEMPTS_PER_PLAYER):
+                report.add(Op.SPAWN_ATTEMPT)
+                if mob_count + spawned >= MOB_CAP:
+                    continue
+                angle = self.rng.random() * 2 * np.pi
+                radius = self.rng.uniform(r_lo, r_hi)
+                x = int(px + np.cos(angle) * radius)
+                z = int(pz + np.sin(angle) * radius)
+                ground = self.world.column_height(x, z)
+                if ground <= 0:
+                    continue
+                passive = self.rng.random() < PASSIVE_ATTEMPT_FRACTION
+                if self.can_spawn_at(x, ground, z, passive=passive):
+                    self.entities.spawn(
+                        EntityKind.MOB, x + 0.5, float(ground), z + 0.5
+                    )
+                    spawned += 1
+        return spawned
+
+    def _platform_spawning(self, report: WorkReport) -> int:
+        spawned = 0
+        for platform in self.platforms:
+            platform._mobs = [m for m in platform._mobs if m.alive]
+            platform._accumulator += platform.attempts_per_tick
+            attempts = int(platform._accumulator)
+            platform._accumulator -= attempts
+            for _ in range(attempts):
+                report.add(Op.SPAWN_ATTEMPT)
+                if len(platform._mobs) >= platform.local_cap:
+                    continue
+                x = int(self.rng.integers(platform.x0, platform.x1 + 1))
+                z = int(self.rng.integers(platform.z0, platform.z1 + 1))
+                if not self.can_spawn_at(x, platform.y, z):
+                    continue
+                mob = self.entities.spawn(
+                    EntityKind.MOB, x + 0.5, float(platform.y), z + 0.5
+                )
+                mob.goal = platform.goal
+                platform._mobs.append(mob)
+                spawned += 1
+        return spawned
+
+    def _platform_kills(self, report: WorkReport) -> None:
+        """Kill mobs at their platform's goal; drop and later collect items."""
+        for platform in self.platforms:
+            if platform.goal is None:
+                continue
+            gx, gy, gz = platform.goal
+            for mob in platform._mobs:
+                if not mob.alive:
+                    continue
+                if mob.distance_sq_to(gx + 0.5, gy, gz + 0.5) < 2.5:
+                    self.entities.remove(mob)
+                    self.kills_total += 1
+                    for _ in range(platform.drops_per_kill):
+                        self.entities.spawn(
+                            EntityKind.ITEM,
+                            gx + 0.5 + float(self.rng.uniform(-0.3, 0.3)),
+                            float(gy),
+                            gz + 0.5 + float(self.rng.uniform(-0.3, 0.3)),
+                            vy=0.1,
+                        )
+            # The farm's hopper line absorbs settled drops (keeps the item
+            # population bounded, as a real farm's collection system does).
+            # Horizontal catchment only: knockback can bounce drops off the
+            # platform, and the hoppers below still catch them.
+            for item in self.entities.all_entities():
+                if item.kind != EntityKind.ITEM or not item.alive:
+                    continue
+                if item.age_ticks <= platform.collect_after_ticks:
+                    continue
+                dx = item.x - (gx + 0.5)
+                dz = item.z - (gz + 0.5)
+                if dx * dx + dz * dz <= 36.0:
+                    self.entities.remove(item)
+                    self.entities.collected_items += 1
+                    report.add(Op.BLOCK_UPDATE, 8)

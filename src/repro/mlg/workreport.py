@@ -1,0 +1,156 @@
+"""Per-tick work accounting.
+
+Every engine in the game loop records *what it did* (counts of fine-grained
+operations) into a :class:`WorkReport`.  A variant's cost model then converts
+counts into simulated CPU microseconds, and the machine model converts CPU
+time into wall (simulated) time.  The fine categories also aggregate into the
+paper's Figure 11 buckets (Block Add/Remove, Block Update, Entities, Other).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+from dataclasses import dataclass, field
+
+__all__ = ["Op", "WorkReport", "FIGURE11_BUCKETS", "bucket_of"]
+
+
+class Op:
+    """Fine-grained operation categories counted by the engines."""
+
+    TICK_FIXED = "tick_fixed"
+    BLOCK_ADD_REMOVE = "block_add_remove"
+    BLOCK_UPDATE = "block_update"
+    LIGHTING = "lighting"
+    FLUID = "fluid"
+    GROWTH = "growth"
+    REDSTONE = "redstone"
+    ENTITY_UPDATE = "entity_update"
+    ITEM_UPDATE = "item_update"
+    TNT_UPDATE = "tnt_update"
+    COLLISION_PAIR = "collision_pair"
+    EXPLOSION_RAY = "explosion_ray"
+    PATHFIND_NODE = "pathfind_node"
+    SPAWN_ATTEMPT = "spawn_attempt"
+    SPAWN_SCAN = "spawn_scan"
+    CHUNK_GEN = "chunk_gen"
+    CHUNK_LOAD = "chunk_load"
+    CHUNK_TICK = "chunk_tick"
+    PLAYER_ACTION = "player_action"
+    CHAT = "chat"
+    PACKET = "packet"
+    BYTES_OUT = "bytes_out"
+
+    ALL = (
+        TICK_FIXED,
+        BLOCK_ADD_REMOVE,
+        BLOCK_UPDATE,
+        LIGHTING,
+        FLUID,
+        GROWTH,
+        REDSTONE,
+        ENTITY_UPDATE,
+        ITEM_UPDATE,
+        TNT_UPDATE,
+        COLLISION_PAIR,
+        EXPLOSION_RAY,
+        PATHFIND_NODE,
+        SPAWN_ATTEMPT,
+        SPAWN_SCAN,
+        CHUNK_GEN,
+        CHUNK_LOAD,
+        CHUNK_TICK,
+        PLAYER_ACTION,
+        CHAT,
+        PACKET,
+        BYTES_OUT,
+    )
+
+
+#: Figure 11's tick-distribution buckets (waiting buckets are added by the
+#: game loop from measured wait time, not from work counts).
+FIGURE11_BUCKETS = (
+    "Block Add/Remove",
+    "Block Update",
+    "Entities",
+    "Other",
+)
+
+_BUCKET_BY_OP = {
+    Op.BLOCK_ADD_REMOVE: "Block Add/Remove",
+    Op.BLOCK_UPDATE: "Block Update",
+    Op.LIGHTING: "Block Update",
+    Op.FLUID: "Block Update",
+    Op.GROWTH: "Block Update",
+    Op.REDSTONE: "Block Update",
+    Op.ENTITY_UPDATE: "Entities",
+    Op.ITEM_UPDATE: "Entities",
+    Op.TNT_UPDATE: "Entities",
+    Op.COLLISION_PAIR: "Entities",
+    Op.EXPLOSION_RAY: "Entities",
+    Op.PATHFIND_NODE: "Entities",
+    Op.SPAWN_ATTEMPT: "Entities",
+    # The per-chunk mob-spawning eligibility scan is entity work (MF4).
+    Op.SPAWN_SCAN: "Entities",
+}
+
+
+def bucket_of(op: str) -> str:
+    """Map a fine operation category to its Figure 11 bucket."""
+    return _BUCKET_BY_OP.get(op, "Other")
+
+
+@dataclass
+class WorkReport:
+    """Mutable per-tick tally of operation counts."""
+
+    counts: dict[str, float] = field(default_factory=dict)
+
+    def add(self, op: str, n: float = 1.0) -> None:
+        """Record ``n`` occurrences of operation ``op``."""
+        if n < 0:
+            raise ValueError(f"cannot record negative work ({op}: {n!r})")
+        if n:
+            self.counts[op] = self.counts.get(op, 0.0) + n
+
+    def get(self, op: str) -> float:
+        """Count recorded for ``op`` (0.0 when absent)."""
+        return self.counts.get(op, 0.0)
+
+    def merge(self, other: "WorkReport") -> None:
+        """Fold another report's counts into this one."""
+        for op, n in other.counts.items():
+            self.counts[op] = self.counts.get(op, 0.0) + n
+
+    def cost_us(self, cost_table: Mapping[str, float]) -> dict[str, float]:
+        """Convert counts to CPU microseconds using ``cost_table``.
+
+        Operations missing from the table cost nothing; this lets variants
+        zero out work they optimize away entirely.
+        """
+        return {
+            op: n * cost_table.get(op, 0.0)
+            for op, n in self.counts.items()
+            if cost_table.get(op, 0.0) > 0.0
+        }
+
+    def total_cost_us(self, cost_table: Mapping[str, float]) -> float:
+        """Total CPU microseconds implied by this report."""
+        return sum(self.cost_us(cost_table).values())
+
+    def bucketed_cost_us(
+        self, cost_table: Mapping[str, float]
+    ) -> dict[str, float]:
+        """Cost aggregated into Figure 11 buckets."""
+        buckets: dict[str, float] = {}
+        for op, us in self.cost_us(cost_table).items():
+            bucket = bucket_of(op)
+            buckets[bucket] = buckets.get(bucket, 0.0) + us
+        return buckets
+
+    def nonzero_ops(self) -> Iterable[str]:
+        """Operations with a positive count, in insertion order."""
+        return (op for op, n in self.counts.items() if n > 0)
+
+    def copy(self) -> "WorkReport":
+        return WorkReport(dict(self.counts))

@@ -1,0 +1,303 @@
+"""Chunked voxel world — the terrain state of the operational model (§2.3).
+
+The world is an endless horizontal grid of 16×16×``WORLD_HEIGHT`` chunks,
+lazily created (and optionally generated) when first touched.  Every block
+mutation is appended to a per-tick change log which the game loop drains to
+drive terrain simulation triggers and client state-update packets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mlg.blocks import Block, is_opaque, is_solid
+from repro.mlg.constants import CHUNK_SIZE, WORLD_HEIGHT
+
+__all__ = ["BlockChange", "Chunk", "World"]
+
+
+@dataclass(frozen=True)
+class BlockChange:
+    """One block mutation, as recorded in the world's change log."""
+
+    x: int
+    y: int
+    z: int
+    old: int
+    new: int
+
+
+class Chunk:
+    """A 16×16 column of blocks with light and auxiliary state.
+
+    Arrays are indexed ``[local_x, local_z, y]``.  ``aux`` stores per-block
+    metadata (crop growth stage, repeater delay, redstone power, fluid
+    level).  ``heightmap[x, z]`` is the y of the highest non-air block plus
+    one (0 for an empty column).
+    """
+
+    __slots__ = (
+        "cx",
+        "cz",
+        "blocks",
+        "aux",
+        "skylight",
+        "blocklight",
+        "heightmap",
+        "dirty",
+    )
+
+    def __init__(self, cx: int, cz: int) -> None:
+        self.cx = cx
+        self.cz = cz
+        shape = (CHUNK_SIZE, CHUNK_SIZE, WORLD_HEIGHT)
+        self.blocks = np.zeros(shape, dtype=np.uint8)
+        self.aux = np.zeros(shape, dtype=np.uint8)
+        self.skylight = np.zeros(shape, dtype=np.uint8)
+        self.blocklight = np.zeros(shape, dtype=np.uint8)
+        self.heightmap = np.zeros((CHUNK_SIZE, CHUNK_SIZE), dtype=np.int16)
+        self.dirty = False
+
+    def recompute_heightmap(self) -> None:
+        """Rebuild the heightmap from the block array (vectorized)."""
+        nonair = self.blocks != Block.AIR
+        # Highest non-air index + 1 per column; 0 when the column is empty.
+        reversed_cols = nonair[:, :, ::-1]
+        first_from_top = reversed_cols.argmax(axis=2)
+        any_block = nonair.any(axis=2)
+        self.heightmap[:, :] = np.where(
+            any_block, WORLD_HEIGHT - first_from_top, 0
+        ).astype(np.int16)
+
+    def update_height_at(self, lx: int, lz: int) -> None:
+        """Recompute the heightmap for a single column."""
+        column = self.blocks[lx, lz]
+        nz = np.flatnonzero(column)
+        self.heightmap[lx, lz] = int(nz[-1]) + 1 if nz.size else 0
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate in-memory size of the chunk's state arrays."""
+        return (
+            self.blocks.nbytes
+            + self.aux.nbytes
+            + self.skylight.nbytes
+            + self.blocklight.nbytes
+            + self.heightmap.nbytes
+        )
+
+
+class World:
+    """The global terrain state: a dictionary of loaded chunks.
+
+    ``generator`` — when provided — is invoked to populate newly created
+    chunks (signature ``generator(chunk) -> None``), which models the lazy
+    terrain generation of §2.2.2.
+    """
+
+    def __init__(
+        self, generator: Callable[[Chunk], None] | None = None
+    ) -> None:
+        self._chunks: dict[tuple[int, int], Chunk] = {}
+        self._generator = generator
+        self._change_log: list[BlockChange] = []
+        #: Chunks generated since the last drain (for work accounting).
+        self.chunks_generated_this_tick = 0
+
+    # -- chunk management ---------------------------------------------------
+
+    @staticmethod
+    def chunk_coords(x: int, z: int) -> tuple[int, int]:
+        """Chunk coordinates containing world ``(x, z)``."""
+        return x >> 4, z >> 4
+
+    def has_chunk(self, cx: int, cz: int) -> bool:
+        return (cx, cz) in self._chunks
+
+    def get_chunk(self, cx: int, cz: int) -> Chunk | None:
+        return self._chunks.get((cx, cz))
+
+    def ensure_chunk(self, cx: int, cz: int) -> Chunk:
+        """Return the chunk, creating (and generating) it if needed."""
+        chunk = self._chunks.get((cx, cz))
+        if chunk is None:
+            chunk = Chunk(cx, cz)
+            self._chunks[(cx, cz)] = chunk
+            if self._generator is not None:
+                self._generator(chunk)
+                chunk.recompute_heightmap()
+                self.chunks_generated_this_tick += 1
+        return chunk
+
+    def loaded_chunks(self) -> Iterator[Chunk]:
+        return iter(self._chunks.values())
+
+    @property
+    def loaded_chunk_count(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def nbytes(self) -> int:
+        """Total chunk memory, the world's contribution to heap usage."""
+        return sum(chunk.nbytes for chunk in self._chunks.values())
+
+    # -- block access -------------------------------------------------------
+
+    def in_bounds_y(self, y: int) -> bool:
+        return 0 <= y < WORLD_HEIGHT
+
+    def get_block(self, x: int, y: int, z: int) -> int:
+        """Block id at world coordinates; AIR outside vertical bounds or in
+        unloaded chunks (reads never force generation)."""
+        if not self.in_bounds_y(y):
+            return Block.AIR
+        chunk = self._chunks.get((x >> 4, z >> 4))
+        if chunk is None:
+            return Block.AIR
+        return int(chunk.blocks[x & 15, z & 15, y])
+
+    def get_aux(self, x: int, y: int, z: int) -> int:
+        if not self.in_bounds_y(y):
+            return 0
+        chunk = self._chunks.get((x >> 4, z >> 4))
+        if chunk is None:
+            return 0
+        return int(chunk.aux[x & 15, z & 15, y])
+
+    def set_aux(self, x: int, y: int, z: int, value: int) -> None:
+        if not self.in_bounds_y(y):
+            return
+        chunk = self.ensure_chunk(x >> 4, z >> 4)
+        chunk.aux[x & 15, z & 15, y] = value & 0xFF
+        chunk.dirty = True
+
+    def set_block(
+        self, x: int, y: int, z: int, block_id: int, aux: int = 0,
+        log: bool = True,
+    ) -> BlockChange | None:
+        """Write a block; returns the change (or None when it is a no-op).
+
+        ``log=False`` suppresses the change log — used by bulk world
+        construction before an experiment starts, so that building a workload
+        world does not masquerade as runtime terrain work.
+        """
+        if not self.in_bounds_y(y):
+            return None
+        chunk = self.ensure_chunk(x >> 4, z >> 4)
+        lx, lz = x & 15, z & 15
+        old = int(chunk.blocks[lx, lz, y])
+        if old == block_id and int(chunk.aux[lx, lz, y]) == aux:
+            return None
+        chunk.blocks[lx, lz, y] = block_id
+        chunk.aux[lx, lz, y] = aux & 0xFF
+        chunk.dirty = True
+        height = int(chunk.heightmap[lx, lz])
+        if block_id != Block.AIR and y >= height:
+            chunk.heightmap[lx, lz] = y + 1
+        elif block_id == Block.AIR and y == height - 1:
+            chunk.update_height_at(lx, lz)
+        change = BlockChange(x, y, z, old, block_id)
+        if log:
+            self._change_log.append(change)
+        return change
+
+    # -- change log ---------------------------------------------------------
+
+    def drain_changes(self) -> list[BlockChange]:
+        """Return and clear this tick's block changes."""
+        changes = self._change_log
+        self._change_log = []
+        self.chunks_generated_this_tick = 0
+        return changes
+
+    def pending_change_count(self) -> int:
+        return len(self._change_log)
+
+    # -- queries used by the engines ----------------------------------------
+
+    def column_height(self, x: int, z: int) -> int:
+        """Top of the highest block in the column (0 if empty/unloaded)."""
+        chunk = self._chunks.get((x >> 4, z >> 4))
+        if chunk is None:
+            return 0
+        return int(chunk.heightmap[x & 15, z & 15])
+
+    def column_heights_bulk(
+        self, xs: "np.ndarray", zs: "np.ndarray"
+    ) -> "np.ndarray":
+        """Vectorized :meth:`column_height` for integer coordinate arrays.
+
+        Unloaded chunks report height 0.  Used by the entity manager's bulk
+        physics path (TNT swarms, item floods).
+        """
+        xs = np.asarray(xs, dtype=np.int64)
+        zs = np.asarray(zs, dtype=np.int64)
+        out = np.zeros(xs.shape, dtype=np.int64)
+        cxs = xs >> 4
+        czs = zs >> 4
+        keys = cxs * (1 << 32) + (czs & 0xFFFFFFFF)
+        for key in np.unique(keys):
+            mask = keys == key
+            cx = int(cxs[mask][0])
+            cz = int(czs[mask][0])
+            chunk = self._chunks.get((cx, cz))
+            if chunk is None:
+                continue
+            out[mask] = chunk.heightmap[xs[mask] & 15, zs[mask] & 15]
+        return out
+
+    def is_solid_at(self, x: int, y: int, z: int) -> bool:
+        return is_solid(self.get_block(x, y, z))
+
+    def is_opaque_at(self, x: int, y: int, z: int) -> bool:
+        return is_opaque(self.get_block(x, y, z))
+
+    def neighbors6(
+        self, x: int, y: int, z: int
+    ) -> Iterable[tuple[int, int, int]]:
+        """The six face-adjacent positions (unfiltered)."""
+        return (
+            (x + 1, y, z),
+            (x - 1, y, z),
+            (x, y + 1, z),
+            (x, y - 1, z),
+            (x, y, z + 1),
+            (x, y, z - 1),
+        )
+
+    def count_blocks(self, block_id: int) -> int:
+        """Total count of ``block_id`` across loaded chunks (vectorized)."""
+        return int(
+            sum(
+                int((chunk.blocks == block_id).sum())
+                for chunk in self._chunks.values()
+            )
+        )
+
+    def fill(
+        self,
+        x0: int,
+        y0: int,
+        z0: int,
+        x1: int,
+        y1: int,
+        z1: int,
+        block_id: int,
+        log: bool = False,
+    ) -> int:
+        """Fill an inclusive cuboid; returns the number of blocks written.
+
+        Bulk construction helper used by the workload world builders.
+        """
+        if x1 < x0 or y1 < y0 or z1 < z0:
+            raise ValueError("fill cuboid corners must be ordered")
+        count = 0
+        for x in range(x0, x1 + 1):
+            for z in range(z0, z1 + 1):
+                for y in range(y0, y1 + 1):
+                    if self.set_block(x, y, z, block_id, log=log) is not None:
+                        count += 1
+        return count

@@ -1,0 +1,59 @@
+"""Benchmark workloads: Control, TNT, Farm, Lag, Players (§3.3, §3.4.1)."""
+
+from repro.workloads.base import Workload
+from repro.workloads.constructs import (
+    LagMachine,
+    build_entity_farm,
+    build_item_sorter,
+    build_kelp_farm,
+    build_lag_machine,
+    build_stone_farm,
+)
+from repro.workloads.worlds import (
+    ControlWorkload,
+    FarmWorkload,
+    LagWorkload,
+    PlayersWorkload,
+    TNTWorkload,
+)
+
+WORKLOADS: dict[str, type[Workload]] = {
+    cls.name: cls
+    for cls in (
+        ControlWorkload,
+        TNTWorkload,
+        FarmWorkload,
+        LagWorkload,
+        PlayersWorkload,
+    )
+}
+
+
+def get_workload(name: str, scale: float = 1.0, **kwargs) -> Workload:
+    """Instantiate a workload by registry name."""
+    try:
+        cls = WORKLOADS[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise ValueError(
+            f"unknown workload {name!r}; known: {known}"
+        ) from None
+    return cls(scale=scale, **kwargs)
+
+
+__all__ = [
+    "ControlWorkload",
+    "FarmWorkload",
+    "LagMachine",
+    "LagWorkload",
+    "PlayersWorkload",
+    "TNTWorkload",
+    "WORKLOADS",
+    "Workload",
+    "build_entity_farm",
+    "build_item_sorter",
+    "build_kelp_farm",
+    "build_lag_machine",
+    "build_stone_farm",
+    "get_workload",
+]

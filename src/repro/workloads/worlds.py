@@ -1,0 +1,198 @@
+"""The five benchmark workloads (Tables 2 and 3).
+
+================  =========================================  ==========
+Name              Properties (paper Table 2)                 Substrate
+================  =========================================  ==========
+Control           Freshly generated world                    seeded worldgen
+TNT               Entity actions, terrain updates            16×16×14 TNT cuboid, ignites ~20 s after connect
+Farm              Resource-farm constructs                   12 entity farms, 4 stone farms, 4 kelp farms, 1 item sorter
+Lag               Complex simulated construct, stress test   clock-driven gate storm, every-other-tick
+Players           (§3.4.1 player-based workload)             25 bots random-walking a 32×32 area
+================  =========================================  ==========
+"""
+
+from __future__ import annotations
+
+from repro.emulation.swarm import BotSwarm
+from repro.mlg.blocks import Block
+from repro.mlg.server import MLGServer
+from repro.mlg.workreport import WorkReport
+from repro.mlg.world import World
+from repro.mlg.worldgen import PAPER_SEED, TerrainGenerator
+from repro.workloads.base import Workload
+from repro.workloads.constructs import (
+    build_entity_farm,
+    build_item_sorter,
+    build_kelp_farm,
+    build_lag_machine,
+    build_stone_farm,
+)
+
+__all__ = [
+    "ControlWorkload",
+    "TNTWorkload",
+    "FarmWorkload",
+    "LagWorkload",
+    "PlayersWorkload",
+]
+
+#: TNT ignites this long after the player connects (§3.3.1: "around 20
+#: seconds after a player connects").
+TNT_IGNITION_DELAY_TICKS = 400
+
+
+class ControlWorkload(Workload):
+    """Best-case workload: an unmodified freshly generated world."""
+
+    name = "control"
+    display_name = "Control"
+    description = "Freshly generated world (seed from the paper)"
+
+    def create_world(self, seed: int) -> World:
+        return World(generator=TerrainGenerator(seed=seed ^ PAPER_SEED))
+
+    def install(self, server: MLGServer, swarm: BotSwarm) -> None:
+        swarm.add_observer()
+
+
+class TNTWorkload(Workload):
+    """Worst-case entity/physics burst: a TNT cuboid chain reaction."""
+
+    name = "tnt"
+    display_name = "TNT"
+    description = "16x16x14 TNT cuboid, ignited ~20s after connect"
+
+    #: Base cuboid dimensions (x, y, z) at scale 1.
+    BASE_DIMS = (16, 14, 16)
+
+    def cuboid_dims(self) -> tuple[int, int, int]:
+        sx, sy, sz = self.BASE_DIMS
+        return (sx, max(1, int(sy * self.scale)), sz)
+
+    def create_world(self, seed: int) -> World:
+        world = World(generator=TerrainGenerator(seed=seed ^ PAPER_SEED))
+        dx, dy, dz = self.cuboid_dims()
+        x0, z0 = 24, 24
+        world.ensure_chunk(x0 >> 4, z0 >> 4)
+        world.ensure_chunk((x0 + dx) >> 4, (z0 + dz) >> 4)
+        y0 = max(
+            world.column_height(x0 + dx // 2, z0 + dz // 2), 40
+        )
+        self._cuboid = (x0, y0, z0, x0 + dx - 1, y0 + dy - 1, z0 + dz - 1)
+        world.fill(*self._cuboid[:3], *self._cuboid[3:], Block.TNT)
+        return world
+
+    def install(self, server: MLGServer, swarm: BotSwarm) -> None:
+        swarm.add_observer()
+        cuboid = self._cuboid
+
+        def ignite(server_: MLGServer, tick_index: int, report: WorkReport,
+                   _cuboid=cuboid) -> None:
+            if tick_index != TNT_IGNITION_DELAY_TICKS:
+                return
+            x0, y0, z0, x1, y1, z1 = _cuboid
+            server_.tnt.prime_region(
+                x0, y0, z0, x1, y1, z1, fuse_spread=(60, 170)
+            )
+
+        server.add_tick_hook(ignite)
+
+
+class FarmWorkload(Workload):
+    """Resource-farm constructs sourced from community creators (Table 3)."""
+
+    name = "farm"
+    display_name = "Farm"
+    description = (
+        "12 entity farms, 4 stone farms, 4 kelp farms, 1 item sorter"
+    )
+
+    def counts(self) -> dict[str, int]:
+        s = self.scale
+        return {
+            "entity_farm": max(1, int(12 * s)),
+            "stone_farm": max(1, int(4 * s)),
+            "kelp_farm": max(1, int(4 * s)),
+            "item_sorter": 1,
+        }
+
+    def create_world(self, seed: int) -> World:
+        return World(generator=TerrainGenerator(seed=seed ^ PAPER_SEED))
+
+    def install(self, server: MLGServer, swarm: BotSwarm) -> None:
+        counts = self.counts()
+        # Lay the constructs out on a ring near spawn, inside the
+        # observer's view distance so they are simulated.
+        positions = self._ring_positions(
+            sum(counts.values()), radius=56, center=(8, 8)
+        )
+        cursor = iter(positions)
+        for _ in range(counts["entity_farm"]):
+            x, z = next(cursor)
+            build_entity_farm(server, x, z)
+        for _ in range(counts["stone_farm"]):
+            x, z = next(cursor)
+            build_stone_farm(server, x, z)
+        for _ in range(counts["kelp_farm"]):
+            x, z = next(cursor)
+            build_kelp_farm(server, x, z)
+        for _ in range(counts["item_sorter"]):
+            x, z = next(cursor)
+            build_item_sorter(server, x, z)
+        swarm.add_observer()
+
+    @staticmethod
+    def _ring_positions(
+        n: int, radius: int, center: tuple[int, int]
+    ) -> list[tuple[int, int]]:
+        import math
+
+        cx, cz = center
+        out = []
+        for i in range(n):
+            angle = 2 * math.pi * i / max(1, n)
+            r = radius if i % 2 == 0 else radius * 0.6
+            out.append(
+                (int(cx + r * math.cos(angle)), int(cz + r * math.sin(angle)))
+            )
+        return out
+
+
+class LagWorkload(Workload):
+    """Worst-case stress test: a community Lag Machine design (§3.3.1)."""
+
+    name = "lag"
+    display_name = "Lag"
+    description = "Clock-driven logic-gate storm, every-other-tick"
+
+    #: Total gate evaluations per pulse at scale 1.
+    BASE_GATES = 850_000
+
+    def create_world(self, seed: int) -> World:
+        return World(generator=TerrainGenerator(seed=seed ^ PAPER_SEED))
+
+    def install(self, server: MLGServer, swarm: BotSwarm) -> None:
+        self.machine = build_lag_machine(
+            server, x0=20, z0=20,
+            total_gates=int(self.BASE_GATES * self.scale),
+        )
+        swarm.add_observer()
+
+
+class PlayersWorkload(Workload):
+    """The traditional player-based workload (§3.4.1): 25 walking bots."""
+
+    name = "players"
+    display_name = "Players"
+    description = "25 emulated players random-walking a 32x32 area"
+    player_based = True
+
+    def __init__(self, scale: float = 1.0, n_bots: int = 25) -> None:
+        super().__init__(scale)
+        self.n_bots = max(1, int(n_bots * scale))
+
+    def create_world(self, seed: int) -> World:
+        return World(generator=TerrainGenerator(seed=seed ^ PAPER_SEED))
+
+    def install(self, server: MLGServer, swarm: BotSwarm) -> None:
+        swarm.add_player_workload(n_bots=self.n_bots)

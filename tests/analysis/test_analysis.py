@@ -1,0 +1,55 @@
+"""Tests for the analysis package: hosting data, expectations, drivers."""
+
+import pytest
+
+from repro.analysis import (
+    HOSTING_PLANS,
+    PAPER,
+    fig6_isr_model,
+    most_common_recommendation,
+    run_cell,
+)
+
+
+class TestHosting:
+    def test_23_surveyed_plans(self):
+        assert len(HOSTING_PLANS) == 23
+
+    def test_most_common_is_2vcpu_4gb(self):
+        ram, vcpus = most_common_recommendation()
+        assert (ram, vcpus) == (4.0, 2)
+
+    def test_np_fields_are_none(self):
+        aws = next(p for p in HOSTING_PLANS if p.service == "AWS")
+        assert aws.cpu_speed_ghz is None
+        assert aws.ram_gb == 1.0
+
+
+class TestExpectations:
+    def test_every_figure_key_present(self):
+        for key in ("fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+                    "fig12", "table7", "table8", "table2"):
+            assert key in PAPER
+
+    def test_table8_covers_grid(self):
+        assert len(PAPER["table8"]) >= 9
+        assert PAPER["table8"][("farm", "papermc")] == (47.5, 1.2)
+
+
+class TestFigureDrivers:
+    def test_fig6_driver_is_pure(self):
+        result = fig6_isr_model()
+        curves = [r for r in result.rows if "s" in r]
+        assert {r["s"] for r in curves} == {2, 10, 20}
+        fig6b = next(r for r in result.rows if r.get("trace") == "fig6b")
+        assert fig6b["high_isr"] > fig6b["low_isr"]
+
+    def test_run_cell_smoke(self):
+        cell = run_cell("control", "vanilla", "das5-2core", duration_s=3.0)
+        assert cell.tick_durations_ms
+        assert cell.environment == "das5-2core"
+
+    def test_run_cell_warm_flag(self):
+        warm = run_cell("control", "vanilla", "aws-t3.large", 2.0, warm=True)
+        cold = run_cell("control", "vanilla", "aws-t3.large", 2.0, warm=False)
+        assert warm.final_credits_s <= cold.final_credits_s

@@ -1,0 +1,122 @@
+"""Tests for environments, noise processes, and the network model."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import (
+    AWS_T3_2XLARGE,
+    AWS_T3_LARGE,
+    AWS_T3_XLARGE,
+    AZURE_D2V3,
+    DAS5_16CORE,
+    DAS5_2CORE,
+    ENVIRONMENTS,
+    NetworkModel,
+    NoiseModel,
+    NoiseParams,
+    get_environment,
+)
+
+
+class TestEnvironments:
+    def test_registry_names_and_aliases(self):
+        assert get_environment("das5") is DAS5_2CORE
+        assert get_environment("aws") is AWS_T3_LARGE
+        assert get_environment("azure") is AZURE_D2V3
+        assert get_environment("AWS-T3.2XLARGE") is AWS_T3_2XLARGE
+
+    def test_unknown_environment_raises(self):
+        with pytest.raises(ValueError, match="unknown environment"):
+            get_environment("gcp-n2")
+
+    def test_node_shapes_match_paper(self):
+        # §5.1.2: both cloud node types have 2 vCPUs and 8 GB memory.
+        assert AWS_T3_LARGE.machine_spec.vcpus == 2
+        assert AWS_T3_LARGE.machine_spec.memory_gb == 8.0
+        assert AZURE_D2V3.machine_spec.vcpus == 2
+        assert AZURE_D2V3.machine_spec.memory_gb == 8.0
+        # AWS node ladder of MF5: L=2, XL=4, 2XL=8 vCPUs.
+        assert AWS_T3_XLARGE.machine_spec.vcpus == 4
+        assert AWS_T3_2XLARGE.machine_spec.vcpus == 8
+        # DAS-5: dual 8-core node, affinity-limited variant has 2.
+        assert DAS5_16CORE.machine_spec.vcpus == 16
+        assert DAS5_2CORE.machine_spec.vcpus == 2
+        assert DAS5_2CORE.machine_spec.memory_gb == 64.0
+
+    def test_kinds(self):
+        assert DAS5_2CORE.kind == "self-hosted"
+        assert AWS_T3_LARGE.kind == "cloud"
+        assert AZURE_D2V3.kind == "cloud"
+
+    def test_only_aws_is_burstable(self):
+        assert AWS_T3_LARGE.machine_spec.burst is not None
+        assert AZURE_D2V3.machine_spec.burst is None
+        assert DAS5_2CORE.machine_spec.burst is None
+
+    def test_clouds_are_noisier_than_das5(self):
+        das5 = DAS5_2CORE.machine_spec.noise
+        for cloud in (AWS_T3_LARGE, AZURE_D2V3):
+            noise = cloud.machine_spec.noise
+            assert noise.jitter_sigma > das5.jitter_sigma
+            assert noise.pause_rate_per_s > das5.pause_rate_per_s
+            assert noise.placement_sigma > das5.placement_sigma
+
+    def test_create_machine_independent_instances(self):
+        a = DAS5_2CORE.create_machine(seed=1)
+        b = DAS5_2CORE.create_machine(seed=1)
+        a.execute(1000, 0.0, 0)
+        assert b.total_executions == 0
+
+
+class TestNoiseModel:
+    def test_quiet_params_give_unity(self):
+        model = NoiseModel(NoiseParams(jitter_sigma=0.0), np.random.default_rng(0))
+        assert model.sample(0) == pytest.approx(1.0)
+
+    def test_slowdown_floor(self):
+        model = NoiseModel(
+            NoiseParams(jitter_sigma=0.5, placement_sigma=0.5),
+            np.random.default_rng(0),
+        )
+        for t in range(200):
+            assert model.sample(t * 50_000) >= 0.7
+
+    def test_steal_spikes_raise_slowdown(self):
+        params = NoiseParams(
+            jitter_sigma=0.0, steal_rate_per_s=1000.0, steal_share=0.5,
+        )
+        model = NoiseModel(params, np.random.default_rng(1))
+        model.sample(0)
+        assert model.sample(50_000) >= 1.9  # inside a steal window
+
+    def test_pause_sampling(self):
+        params = NoiseParams(pause_rate_per_s=1000.0, pause_ms_range=(10, 20))
+        model = NoiseModel(params, np.random.default_rng(2))
+        pause = model.sample_pause_us(1.0)
+        assert 10_000 <= pause <= 20_000
+
+    def test_no_pauses_when_disabled(self):
+        model = NoiseModel(NoiseParams(), np.random.default_rng(3))
+        assert model.sample_pause_us(10.0) == 0
+
+
+class TestNetworkModel:
+    def test_latency_pair_positive_and_varied(self):
+        model = NetworkModel(median_one_way_us=1000, sigma=0.3)
+        rng = np.random.default_rng(4)
+        pairs = [model.latency_pair(rng) for _ in range(50)]
+        ups = {up for up, _ in pairs}
+        assert len(ups) > 10
+        assert all(up >= model.floor_us for up, _ in pairs)
+
+    def test_floor_enforced(self):
+        model = NetworkModel(median_one_way_us=10, sigma=0.0, floor_us=50)
+        rng = np.random.default_rng(5)
+        up, down = model.latency_pair(rng)
+        assert up == 50 and down == 50
+
+    def test_das5_faster_than_clouds(self):
+        rng = np.random.default_rng(6)
+        das5 = np.mean([DAS5_2CORE.network.latency_pair(rng)[0] for _ in range(100)])
+        aws = np.mean([AWS_T3_LARGE.network.latency_pair(rng)[0] for _ in range(100)])
+        assert das5 < aws

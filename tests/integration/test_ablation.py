@@ -1,0 +1,115 @@
+"""Ablation: which PaperMC optimization buys what (DESIGN.md §6).
+
+The paper credits PaperMC's TNT performance to its rewritten entity
+handler and explosion optimizations (Appendix A / MF4).  These tests
+rebuild PaperMC profiles with individual optimizations disabled and
+verify each one's contribution on the workload it targets.
+"""
+
+from dataclasses import replace
+from types import MappingProxyType
+
+import numpy as np
+import pytest
+
+from repro.cloud import get_environment
+from repro.core.experiment import run_iteration
+from repro.mlg.variants import PAPERMC, VANILLA
+from repro.mlg.workreport import Op
+from repro.simtime import SimClock
+
+
+def _papermc_without(**overrides):
+    """A PaperMC profile with selected optimizations reverted to vanilla."""
+    cost_overrides = overrides.pop("costs", {})
+    table = dict(PAPERMC.cost_table)
+    for op in cost_overrides:
+        table[op] = VANILLA.cost_table[op]
+    return replace(
+        PAPERMC,
+        name="papermc-ablated",
+        cost_table=MappingProxyType(table),
+        **overrides,
+    )
+
+
+def _run(variant, workload, duration_s=40.0, seed=13):
+    env = get_environment("das5-2core")
+    machine = env.create_machine(seed=seed)
+    return run_iteration(
+        workload,
+        variant,
+        "das5-2core",
+        duration_s=duration_s,
+        seed=seed,
+        machine=machine,
+        clock=SimClock(),
+    )
+
+
+class TestTntOptimizationAblation:
+    def test_explosion_optimization_carries_tnt_performance(self):
+        full = _run(PAPERMC, "tnt")
+        no_tnt_opt = _run(
+            _papermc_without(
+                costs={Op.EXPLOSION_RAY, Op.TNT_UPDATE, Op.COLLISION_PAIR}
+            ),
+            "tnt",
+        )
+        full_mean = np.mean(full.tick_durations_ms)
+        ablated_mean = np.mean(no_tnt_opt.tick_durations_ms)
+        assert ablated_mean > 1.3 * full_mean, (
+            "removing the TNT optimizations must visibly slow the chain"
+        )
+
+
+class TestItemMergingAblation:
+    def test_merging_bounds_farm_entity_count(self):
+        full = _run(PAPERMC, "farm")
+        no_merge = _run(replace(PAPERMC, name="p-nomerge",
+                                merge_items=False), "farm")
+        # Without merging, more item entities stay alive -> more entity
+        # messages relative to the merged profile.
+        assert (
+            no_merge.packet_counts.get("entity_move", 0)
+            > full.packet_counts.get("entity_move", 0)
+        )
+
+
+class TestAsyncChatAblation:
+    def test_sync_chat_re_couples_response_to_tick(self):
+        full = _run(PAPERMC, "control", duration_s=20.0)
+        sync = _run(replace(PAPERMC, name="p-sync", async_chat=False),
+                    "control", duration_s=20.0)
+        # Async chat answers in ~RTT; sync chat waits for a tick.
+        assert np.median(full.response_times_ms) < 10.0
+        assert np.median(sync.response_times_ms) > 20.0
+
+
+class TestEntityBroadcastAblation:
+    def test_batched_sends_halve_entity_traffic(self):
+        full = _run(PAPERMC, "farm")
+        unbatched = _run(
+            replace(PAPERMC, name="p-unbatched",
+                    entity_broadcast_interval=1),
+            "farm",
+        )
+        assert (
+            unbatched.packet_counts.get("entity_move", 0)
+            > 1.5 * full.packet_counts.get("entity_move", 0)
+        )
+
+
+class TestParallelFractionAblation:
+    def test_threading_rework_matters_on_many_cores(self):
+        serial = replace(PAPERMC, name="p-serial", parallel_fraction=0.0)
+        env = get_environment("das5-16core")
+        a = run_iteration("farm", PAPERMC, "das5-16core", 20.0, seed=13,
+                          machine=env.create_machine(seed=13),
+                          clock=SimClock())
+        b = run_iteration("farm", serial, "das5-16core", 20.0, seed=13,
+                          machine=env.create_machine(seed=13),
+                          clock=SimClock())
+        assert np.mean(a.tick_durations_ms[1:]) < np.mean(
+            b.tick_durations_ms[1:]
+        )

@@ -1,0 +1,141 @@
+"""Unit tests for the Instability Ratio metric (Equation 1)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.metrics import (
+    expected_ticks,
+    instability_ratio,
+    isr_components,
+    isr_closed_form,
+    periodic_outlier_trace,
+    tick_periods,
+)
+
+BUDGET = 50.0
+
+
+class TestTickPeriods:
+    def test_fast_ticks_are_clamped_to_budget(self):
+        periods = tick_periods([1.0, 10.0, 49.9], BUDGET)
+        assert np.all(periods == BUDGET)
+
+    def test_slow_ticks_keep_their_duration(self):
+        periods = tick_periods([60.0, 500.0], BUDGET)
+        assert list(periods) == [60.0, 500.0]
+
+    def test_mixed_trace(self):
+        periods = tick_periods([10.0, 75.0], BUDGET)
+        assert list(periods) == [50.0, 75.0]
+
+    def test_empty_trace(self):
+        assert tick_periods([], BUDGET).size == 0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            tick_periods([-1.0], BUDGET)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError):
+            tick_periods([float("nan")], BUDGET)
+
+    def test_rejects_nonpositive_budget(self):
+        with pytest.raises(ValueError):
+            tick_periods([50.0], 0.0)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            tick_periods([[50.0, 50.0]], BUDGET)
+
+
+class TestExpectedTicks:
+    def test_healthy_trace_has_ne_equal_na(self):
+        assert expected_ticks([10.0] * 100, BUDGET) == 100
+
+    def test_overloaded_trace_has_ne_greater_than_na(self):
+        # 10 ticks of 500 ms span 5000 ms -> 100 expected ticks at 50 ms.
+        assert expected_ticks([500.0] * 10, BUDGET) == 100
+
+    def test_empty_trace(self):
+        assert expected_ticks([], BUDGET) == 0
+
+
+class TestInstabilityRatio:
+    def test_constant_trace_is_zero(self):
+        assert instability_ratio([50.0] * 1000, BUDGET) == 0.0
+
+    def test_all_fast_ticks_is_zero(self):
+        # Fast ticks all clamp to the budget -> no jitter.
+        assert instability_ratio([1.0, 20.0, 49.0] * 50, BUDGET) == 0.0
+
+    def test_constant_slow_trace_is_zero(self):
+        # Stable-but-terrible performance has ISR 0 (a documented limitation).
+        assert instability_ratio([500.0] * 100, BUDGET) == 0.0
+
+    def test_empty_and_singleton_traces(self):
+        assert instability_ratio([], BUDGET) == 0.0
+        assert instability_ratio([400.0], BUDGET) == 0.0
+
+    def test_single_outlier_hand_computed(self):
+        # 9 nominal + 1 outlier of 10b: jumps are (10b-b) in and out = 18b.
+        # Duration = 9b + 10b = 19b -> Ne = 19.  ISR = 18b / (19 * 2b).
+        trace = [BUDGET] * 5 + [10 * BUDGET] + [BUDGET] * 4
+        expected = (18 * BUDGET) / (19 * 2 * BUDGET)
+        assert math.isclose(instability_ratio(trace, BUDGET), expected)
+
+    def test_matches_closed_form_on_periodic_trace(self):
+        for s, lam in [(2, 2), (10, 25), (20, 5), (1.5, 10)]:
+            trace = periodic_outlier_trace(10_000, lam, s, BUDGET)
+            measured = instability_ratio(trace, BUDGET)
+            assert math.isclose(
+                measured, isr_closed_form(s, lam), rel_tol=0.02
+            ), (s, lam)
+
+    def test_paper_example_s10_lam25(self):
+        # §4.2: s=10 every 25 ticks -> ISR = 9/34 ~= 0.26.
+        assert math.isclose(isr_closed_form(10, 25), 9 / 34)
+        trace = periodic_outlier_trace(25_000, 25, 10, BUDGET)
+        assert abs(instability_ratio(trace, BUDGET) - 0.26) < 0.01
+
+    def test_alternating_extreme_ticks_approach_one(self):
+        # Alternating b and s*b tends to (s-1)/(s+1) -> 1 as s grows.
+        trace = periodic_outlier_trace(10_000, 2, 1000.0, BUDGET)
+        assert instability_ratio(trace, BUDGET) > 0.99
+
+    def test_explicit_n_expected_overrides_inference(self):
+        trace = [BUDGET, 10 * BUDGET, BUDGET]
+        inferred = instability_ratio(trace, BUDGET)
+        pinned = instability_ratio(trace, BUDGET, n_expected=100)
+        assert pinned < inferred
+
+    def test_rejects_nonpositive_n_expected(self):
+        with pytest.raises(ValueError):
+            instability_ratio([50.0, 60.0], BUDGET, n_expected=0)
+
+    def test_unit_invariance(self):
+        # Measuring in seconds instead of ms must not change ISR.
+        trace_ms = [50.0, 500.0, 50.0, 50.0, 120.0]
+        trace_s = [t / 1000.0 for t in trace_ms]
+        assert math.isclose(
+            instability_ratio(trace_ms, 50.0),
+            instability_ratio(trace_s, 0.05),
+        )
+
+
+class TestIsrComponents:
+    def test_components_are_consistent(self):
+        trace = [BUDGET] * 10 + [20 * BUDGET] + [BUDGET] * 10
+        parts = isr_components(trace, BUDGET)
+        assert parts["n_actual"] == 21
+        assert parts["n_expected"] == 40  # 20b + 20b of outlier time
+        expected_isr = parts["jitter_sum"] / (
+            parts["n_expected"] * 2 * BUDGET
+        )
+        assert math.isclose(parts["isr"], expected_isr)
+
+    def test_empty_trace_components(self):
+        parts = isr_components([], BUDGET)
+        assert parts["isr"] == 0.0
+        assert parts["n_actual"] == 0

@@ -1,0 +1,89 @@
+"""Property-based tests for ISR using hypothesis."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    instability_ratio,
+    isr_closed_form,
+    periodic_outlier_trace,
+)
+
+BUDGET = 50.0
+
+durations = st.lists(
+    st.floats(min_value=0.0, max_value=5000.0, allow_nan=False),
+    min_size=2,
+    max_size=400,
+)
+
+
+@given(durations)
+def test_isr_is_bounded(trace):
+    isr = instability_ratio(trace, BUDGET)
+    # Ne rounding can push the bound marginally past 1 on tiny traces.
+    assert 0.0 <= isr <= 1.0 + 1e-9
+
+
+@given(durations)
+def test_isr_is_invariant_under_reversal_of_numerator_shape(trace):
+    # Reversing a trace preserves the multiset of |differences| and the
+    # total duration, hence ISR.
+    forward = instability_ratio(trace, BUDGET)
+    backward = instability_ratio(list(reversed(trace)), BUDGET)
+    assert abs(forward - backward) < 1e-12
+
+
+@given(durations, st.floats(min_value=1.5, max_value=100.0))
+def test_scaling_time_units_preserves_isr(trace, factor):
+    base = instability_ratio(trace, BUDGET)
+    scaled = instability_ratio(
+        [t * factor for t in trace], BUDGET * factor
+    )
+    assert abs(base - scaled) < 1e-9
+
+
+@given(durations)
+def test_sorting_never_increases_isr(trace):
+    """A sorted trace groups similar durations, minimizing c2c jumps."""
+    unsorted_isr = instability_ratio(trace, BUDGET)
+    sorted_isr = instability_ratio(sorted(trace), BUDGET)
+    assert sorted_isr <= unsorted_isr + 1e-9
+
+
+@given(
+    st.integers(min_value=2, max_value=50),
+    st.floats(min_value=1.0, max_value=50.0),
+)
+@settings(max_examples=50)
+def test_closed_form_matches_long_periodic_trace(lam, s):
+    trace = periodic_outlier_trace(lam * 400, lam, s, BUDGET)
+    measured = instability_ratio(trace, BUDGET)
+    assert abs(measured - isr_closed_form(s, lam)) < 0.02
+
+
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.floats(min_value=2.0, max_value=40.0),
+)
+@settings(max_examples=50)
+def test_more_frequent_outliers_increase_isr(lam, s):
+    sparse = isr_closed_form(s, lam + 1)
+    dense = isr_closed_form(s, lam)
+    assert dense > sparse
+
+
+@given(
+    st.integers(min_value=2, max_value=40),
+    st.floats(min_value=2.0, max_value=40.0),
+)
+@settings(max_examples=50)
+def test_larger_outliers_increase_isr(lam, s):
+    assert isr_closed_form(s + 1.0, lam) > isr_closed_form(s, lam)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=49.9), min_size=2, max_size=200))
+def test_never_overloaded_trace_has_zero_isr(trace):
+    """All ticks under budget clamp to b, so the trace shows no jitter."""
+    assert instability_ratio(trace, BUDGET) == 0.0

@@ -1,0 +1,123 @@
+"""Tests for the comparison metrics: jitter variants and Allan variance."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    allan_deviation,
+    allan_variance,
+    allan_variance_profile,
+    cycle_to_cycle_jitter,
+    max_cycle_jitter,
+    mean_cycle_jitter,
+    moving_average_jitter,
+    rfc3550_jitter,
+)
+
+
+class TestCycleJitter:
+    def test_basic_differences(self):
+        jitter = cycle_to_cycle_jitter([50.0, 60.0, 40.0])
+        assert list(jitter) == [10.0, 20.0]
+
+    def test_constant_sequence_has_zero_jitter(self):
+        assert np.all(cycle_to_cycle_jitter([7.0] * 10) == 0.0)
+
+    def test_short_inputs(self):
+        assert cycle_to_cycle_jitter([]).size == 0
+        assert cycle_to_cycle_jitter([5.0]).size == 0
+
+    def test_max_and_mean(self):
+        values = [50.0, 100.0, 50.0, 60.0]
+        assert max_cycle_jitter(values) == 50.0
+        assert math.isclose(mean_cycle_jitter(values), (50 + 50 + 10) / 3)
+
+    def test_max_mean_empty(self):
+        assert max_cycle_jitter([]) == 0.0
+        assert mean_cycle_jitter([5.0]) == 0.0
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            cycle_to_cycle_jitter([[1.0, 2.0]])
+
+
+class TestMovingAverageJitter:
+    def test_window_one_equals_raw_jitter(self):
+        values = [1.0, 4.0, 2.0, 9.0]
+        out = moving_average_jitter(values, window=1)
+        assert list(out) == list(cycle_to_cycle_jitter(values))
+
+    def test_large_window_converges_to_cumulative_mean(self):
+        values = [0.0, 10.0, 0.0, 10.0, 0.0]
+        out = moving_average_jitter(values, window=100)
+        assert math.isclose(out[-1], 10.0)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            moving_average_jitter([1.0, 2.0], window=0)
+
+
+class TestRfc3550:
+    def test_constant_trace_yields_zero(self):
+        assert rfc3550_jitter([50.0] * 20) == 0.0
+
+    def test_converges_towards_constant_jitter(self):
+        # Alternating 0/10 gives constant |D| = 10; estimator approaches 10.
+        values = [0.0, 10.0] * 500
+        assert abs(rfc3550_jitter(values) - 10.0) < 0.5
+
+    def test_gain_validation(self):
+        with pytest.raises(ValueError):
+            rfc3550_jitter([1.0, 2.0], gain=0.0)
+
+    @given(st.lists(st.floats(0, 1000), min_size=2, max_size=100))
+    def test_estimator_bounded_by_max_jitter(self, values):
+        estimate = rfc3550_jitter(values)
+        assert 0.0 <= estimate <= max_cycle_jitter(values) + 1e-9
+
+
+class TestAllanVariance:
+    def test_constant_sequence_is_zero(self):
+        assert allan_variance([5.0] * 16) == 0.0
+
+    def test_alternating_sequence_hand_computed(self):
+        # groups of size 1: diffs alternate ±2 -> AVAR = 0.5 * mean(4) = 2.
+        values = [1.0, 3.0] * 8
+        assert math.isclose(allan_variance(values, m=1), 2.0)
+
+    def test_averaging_smooths_alternation(self):
+        values = [1.0, 3.0] * 32
+        assert allan_variance(values, m=2) < allan_variance(values, m=1)
+
+    def test_deviation_is_sqrt(self):
+        values = [1.0, 3.0] * 8
+        assert math.isclose(
+            allan_deviation(values), math.sqrt(allan_variance(values))
+        )
+
+    def test_requires_enough_samples(self):
+        with pytest.raises(ValueError):
+            allan_variance([1.0, 2.0, 3.0], m=2)
+
+    def test_rejects_bad_m(self):
+        with pytest.raises(ValueError):
+            allan_variance([1.0] * 8, m=0)
+
+    def test_profile_uses_power_of_two_ladder(self):
+        profile = allan_variance_profile(list(range(64)))
+        assert set(profile) == {1, 2, 4, 8, 16}
+
+    def test_order_dependence_distinguishes_traces(self):
+        """Same distribution, different order -> different Allan variance.
+
+        This is the Table 6 property: Allan variance (like ISR, unlike
+        stdev) is order dependent.
+        """
+        clustered = [1.0] * 8 + [9.0] * 8
+        alternating = [1.0, 9.0] * 8
+        assert allan_variance(alternating) > allan_variance(clustered)
+        assert np.std(alternating) == pytest.approx(np.std(clustered))

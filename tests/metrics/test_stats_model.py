@@ -1,0 +1,125 @@
+"""Tests for box statistics and the Fig. 6 synthetic trace generators."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    NOTICEABLE_MS,
+    UNPLAYABLE_MS,
+    box_stats,
+    clustered_outlier_trace,
+    instability_ratio,
+    iqr,
+    percentile,
+    periodic_outlier_trace,
+    spread_outlier_trace,
+    summarize,
+)
+
+
+class TestBoxStats:
+    def test_known_values(self):
+        stats = box_stats(list(range(1, 101)))
+        assert stats.count == 100
+        assert math.isclose(stats.mean, 50.5)
+        assert stats.minimum == 1.0
+        assert stats.maximum == 100.0
+        assert math.isclose(stats.median, 50.5)
+
+    def test_iqr_property(self):
+        stats = box_stats(list(range(1, 101)))
+        assert math.isclose(stats.iqr, stats.p75 - stats.p25)
+        assert math.isclose(iqr(list(range(1, 101))), stats.iqr)
+
+    def test_whiskers_bounded_by_extremes(self):
+        data = [10.0] * 50 + [10_000.0]
+        stats = box_stats(data)
+        assert stats.whisker_low >= stats.minimum
+        assert stats.whisker_high <= stats.maximum
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            box_stats([])
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([], 50.0)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=300))
+    def test_ordering_invariants(self, data):
+        stats = box_stats(data)
+        assert (
+            stats.minimum
+            <= stats.p5
+            <= stats.p25
+            <= stats.median
+            <= stats.p75
+            <= stats.p95
+            <= stats.maximum
+        )
+        # The mean can drift one ulp outside [min, max] from summation
+        # rounding (e.g. three identical large floats), hence the epsilon.
+        eps = 1e-9 * max(1.0, abs(stats.maximum))
+        assert stats.minimum - eps <= stats.mean <= stats.maximum + eps
+
+
+class TestSummarize:
+    def test_threshold_fractions(self):
+        # 2 samples over 118, 3 over 60 (of 10).
+        data = [10.0] * 7 + [80.0] + [200.0, 500.0]
+        summary = summarize(data)
+        assert summary["frac_unplayable"] == pytest.approx(0.2)
+        assert summary["frac_noticeable"] == pytest.approx(0.3)
+
+    def test_max_over_mean(self):
+        summary = summarize([10.0, 10.0, 100.0])
+        assert summary["max_over_mean"] == pytest.approx(100.0 / 40.0)
+
+    def test_thresholds_match_paper(self):
+        assert NOTICEABLE_MS == 60.0
+        assert UNPLAYABLE_MS == 118.0
+
+
+class TestTraceGenerators:
+    def test_periodic_trace_outlier_count(self):
+        trace = periodic_outlier_trace(100, 10, 20.0)
+        assert int((trace > 50.0).sum()) == 10
+
+    def test_clustered_and_spread_have_same_distribution(self):
+        low = clustered_outlier_trace(1000, 5, 20.0)
+        high = spread_outlier_trace(1000, 5, 20.0)
+        assert sorted(low) == sorted(high)
+
+    def test_fig6b_order_dependence(self):
+        """Identical distributions, ISR an order of magnitude apart."""
+        low = clustered_outlier_trace(1000, 5, 20.0)
+        high = spread_outlier_trace(1000, 5, 20.0)
+        isr_low = instability_ratio(low, 50.0)
+        isr_high = instability_ratio(high, 50.0)
+        assert isr_high > 4 * isr_low
+        # Standard deviation is blind to the difference.
+        assert np.std(low) == pytest.approx(np.std(high))
+
+    def test_spread_outliers_are_isolated(self):
+        trace = spread_outlier_trace(1000, 5, 20.0)
+        outliers = np.flatnonzero(trace > 50.0)
+        assert np.all(np.diff(outliers) > 1)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            periodic_outlier_trace(10, 0, 2.0)
+        with pytest.raises(ValueError):
+            clustered_outlier_trace(10, 11, 2.0)
+        with pytest.raises(ValueError):
+            clustered_outlier_trace(10, 5, 2.0, start=8)
+        with pytest.raises(ValueError):
+            spread_outlier_trace(10, -1, 2.0)
+
+    def test_zero_outliers(self):
+        assert np.all(spread_outlier_trace(100, 0, 20.0) == 50.0)

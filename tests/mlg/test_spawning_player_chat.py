@@ -1,0 +1,249 @@
+"""Tests for spawning, the player handler, and the chat subsystem."""
+
+import numpy as np
+import pytest
+
+from repro.mlg.blocks import Block
+from repro.mlg.chat import ChatSystem
+from repro.mlg.entity import EntityKind
+from repro.mlg.entity_manager import EntityManager
+from repro.mlg.fluids import FluidEngine
+from repro.mlg.lighting import LightEngine
+from repro.mlg.netqueue import NetworkQueues
+from repro.mlg.player import PlayerHandler
+from repro.mlg.protocol import ActionKind, PacketCategory, PlayerAction
+from repro.mlg.spawning import SpawnEngine, SpawnPlatform
+from repro.mlg.workreport import Op, WorkReport
+from repro.mlg.world import World
+
+
+def _flat_world(ground_y=60, size=3):
+    world = World()
+    for cx in range(size):
+        for cz in range(size):
+            chunk = world.ensure_chunk(cx, cz)
+            chunk.blocks[:, :, :ground_y] = Block.STONE
+            chunk.recompute_heightmap()
+    return world
+
+
+def _stack(world=None, seed=0):
+    world = world if world is not None else _flat_world()
+    lights = LightEngine(world)
+    for chunk in world.loaded_chunks():
+        lights.light_chunk(chunk)
+    entities = EntityManager(world, np.random.default_rng(seed))
+    spawning = SpawnEngine(world, lights, entities, np.random.default_rng(seed))
+    return world, lights, entities, spawning
+
+
+class TestSpawnChecks:
+    def test_valid_surface_spawn_for_passive(self):
+        world, lights, entities, spawning = _stack()
+        assert spawning.can_spawn_at(8, 60, 8, passive=True)
+
+    def test_hostile_needs_darkness(self):
+        world, lights, entities, spawning = _stack()
+        assert not spawning.can_spawn_at(8, 60, 8, passive=False)
+
+    def test_no_spawn_inside_solid(self):
+        world, lights, entities, spawning = _stack()
+        assert not spawning.can_spawn_at(8, 30, 8, passive=True)
+
+    def test_no_spawn_without_floor(self):
+        world, lights, entities, spawning = _stack()
+        assert not spawning.can_spawn_at(8, 80, 8, passive=True)
+
+    def test_dark_roofed_spot_allows_hostile(self):
+        world, lights, entities, spawning = _stack()
+        for dx in range(-2, 3):
+            for dz in range(-2, 3):
+                world.set_block(8 + dx, 64, 8 + dz, Block.STONE)
+        lights.relight_column(8, 8)
+        assert spawning.can_spawn_at(8, 60, 8, passive=False)
+
+
+class TestPlatformSpawning:
+    def test_platform_spawns_up_to_cap(self):
+        world, lights, entities, spawning = _stack()
+        # Build a dark platform.
+        for x in range(4, 12):
+            for z in range(4, 12):
+                world.set_block(x, 69, z, Block.OBSIDIAN)
+                world.set_block(x, 73, z, Block.STONE)
+        chunk = world.get_chunk(0, 0)
+        lights.light_chunk(chunk)
+        platform = SpawnPlatform(
+            4, 4, 11, 11, y=70, attempts_per_tick=2.0, local_cap=5
+        )
+        spawning.add_platform(platform)
+        report = WorkReport()
+        for _ in range(200):
+            spawning.tick([], report)
+        assert entities.count(EntityKind.MOB) == 5
+        assert report.get(Op.SPAWN_ATTEMPT) > 0
+
+    def test_goal_kills_and_drops(self):
+        world, lights, entities, spawning = _stack()
+        platform = SpawnPlatform(
+            0, 0, 8, 8, y=61, attempts_per_tick=0.0, local_cap=5,
+            goal=(4, 61, 4), drops_per_kill=3,
+        )
+        spawning.add_platform(platform)
+        mob = entities.spawn(EntityKind.MOB, 4.5, 61.0, 4.5)
+        platform._mobs.append(mob)
+        report = WorkReport()
+        spawning.tick([], report)
+        assert not mob.alive
+        assert spawning.kills_total == 1
+        assert entities.count(EntityKind.ITEM) == 3
+
+    def test_goal_collection_absorbs_old_items(self):
+        world, lights, entities, spawning = _stack()
+        platform = SpawnPlatform(
+            0, 0, 8, 8, y=61, attempts_per_tick=0.0,
+            goal=(4, 61, 4), collect_after_ticks=10,
+        )
+        spawning.add_platform(platform)
+        item = entities.spawn(EntityKind.ITEM, 4.5, 61.0, 4.5)
+        item.age_ticks = 50
+        report = WorkReport()
+        spawning.tick([], report)
+        assert not item.alive
+        assert entities.collected_items == 1
+
+    def test_natural_spawning_caps_at_mob_cap(self):
+        from repro.mlg.constants import MOB_CAP
+
+        world, lights, entities, spawning = _stack()
+        report = WorkReport()
+        for _ in range(3000):
+            spawning.tick([(24.0, 61.0, 24.0)], report)
+        assert entities.count(EntityKind.MOB) <= MOB_CAP
+
+
+class TestPlayerHandler:
+    def _handler(self):
+        world = _flat_world()
+        lights = LightEngine(world)
+        fluids = FluidEngine(world)
+        net = NetworkQueues()
+        chat = ChatSystem(net, async_mode=False)
+        handler = PlayerHandler(world, lights, fluids, net, chat)
+        return handler, world, net, chat
+
+    def test_connect_loads_view(self):
+        handler, world, net, _ = self._handler()
+        net.register_client(1, 0, 1000, 1000)
+        report = WorkReport()
+        conn = handler.connect(1, "alice", 8.0, 8.0, report, view_distance=2)
+        assert len(conn.loaded_chunks) == 25
+        assert report.get(Op.CHUNK_GEN) + report.get(Op.CHUNK_LOAD) == 25
+        assert net.stats.counts[PacketCategory.CHUNK_DATA] == 25
+
+    def test_connect_spawns_at_ground_level(self):
+        handler, world, _, _ = self._handler()
+        handler.net.register_client(1, 0, 1000, 1000)
+        conn = handler.connect(1, "alice", 8.0, 8.0, WorkReport(), 2)
+        assert conn.y == 60.0
+
+    def test_move_is_validated_against_terrain(self):
+        handler, world, net, _ = self._handler()
+        net.register_client(1, 0, 1000, 1000)
+        conn = handler.connect(1, "alice", 8.0, 8.0, WorkReport(), 2)
+        # Try to move inside solid stone: rejected.
+        action = PlayerAction(ActionKind.MOVE, 1, (9.0, 30.0, 8.0))
+        handler.process_actions([action], WorkReport())
+        assert (conn.x, conn.y) == (8.0, 60.0)
+        # A legal surface move is applied.
+        action = PlayerAction(ActionKind.MOVE, 1, (9.0, 60.0, 8.0))
+        handler.process_actions([action], WorkReport())
+        assert conn.x == 9.0
+        assert conn.moved_this_tick
+
+    def test_build_and_dig(self):
+        handler, world, net, _ = self._handler()
+        net.register_client(1, 0, 1000, 1000)
+        handler.connect(1, "alice", 8.0, 8.0, WorkReport(), 2)
+        report = WorkReport()
+        build = PlayerAction(
+            ActionKind.BUILD, 1, (10, 60, 10, Block.COBBLESTONE)
+        )
+        handler.process_actions([build], report)
+        assert world.get_block(10, 60, 10) == Block.COBBLESTONE
+        assert report.get(Op.BLOCK_ADD_REMOVE) == 1
+        assert report.get(Op.LIGHTING) > 0
+        dig = PlayerAction(ActionKind.DIG, 1, (10, 60, 10))
+        handler.process_actions([dig], report)
+        assert world.get_block(10, 60, 10) == Block.AIR
+
+    def test_build_into_solid_rejected(self):
+        handler, world, net, _ = self._handler()
+        net.register_client(1, 0, 1000, 1000)
+        handler.connect(1, "alice", 8.0, 8.0, WorkReport(), 2)
+        build = PlayerAction(ActionKind.BUILD, 1, (8, 30, 8, Block.GLASS))
+        handler.process_actions([build], WorkReport())
+        assert world.get_block(8, 30, 8) == Block.STONE
+
+    def test_crossing_chunk_border_loads_more(self):
+        handler, world, net, _ = self._handler()
+        net.register_client(1, 0, 1000, 1000)
+        conn = handler.connect(1, "alice", 8.0, 8.0, WorkReport(), 2)
+        before = len(conn.loaded_chunks)
+        move = PlayerAction(ActionKind.MOVE, 1, (24.0, 60.0, 8.0))
+        handler.process_actions([move], WorkReport())
+        assert len(conn.loaded_chunks) > before
+
+    def test_actions_from_unknown_client_ignored(self):
+        handler, _, _, _ = self._handler()
+        processed = handler.process_actions(
+            [PlayerAction(ActionKind.MOVE, 99, (1.0, 60.0, 1.0))],
+            WorkReport(),
+        )
+        assert processed == 0
+
+
+class TestChat:
+    def test_sync_chat_waits_for_tick(self):
+        net = NetworkQueues()
+        net.register_client(1, 0, 1000, 2000)
+        chat = ChatSystem(net, async_mode=False)
+        report = WorkReport()
+        chat.submit(1, probe_id=7, arrival_us=100, report=report)
+        assert chat.pending_count() == 1
+        assert chat.process_tick(report) == 1
+        flushed = chat.flush_processed(50_000, report)
+        assert flushed == 1
+        endpoint = net.client(1)
+        assert len(endpoint.deliveries) == 1
+        delivery = endpoint.deliveries[0]
+        assert delivery.payload == (1, 7)
+        assert delivery.delivered_at_us == 50_000 + 2000
+
+    def test_async_chat_answers_immediately(self):
+        from repro.mlg.chat import ASYNC_CHAT_LATENCY_US
+
+        net = NetworkQueues()
+        net.register_client(1, 0, 1000, 2000)
+        chat = ChatSystem(net, async_mode=True)
+        report = WorkReport()
+        chat.submit(1, probe_id=3, arrival_us=10_000, report=report)
+        assert chat.pending_count() == 0
+        endpoint = net.client(1)
+        assert len(endpoint.deliveries) == 1
+        assert (
+            endpoint.deliveries[0].delivered_at_us
+            == 10_000 + ASYNC_CHAT_LATENCY_US + 2000
+        )
+
+    def test_chat_broadcast_reaches_everyone(self):
+        net = NetworkQueues()
+        for cid in (1, 2, 3):
+            net.register_client(cid, 0, 1000, 1000)
+        chat = ChatSystem(net, async_mode=False)
+        report = WorkReport()
+        chat.submit(1, probe_id=1, arrival_us=0, report=report)
+        chat.process_tick(report)
+        chat.flush_processed(50_000, report)
+        for cid in (1, 2, 3):
+            assert len(net.client(cid).deliveries) == 1
