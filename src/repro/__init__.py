@@ -9,6 +9,8 @@ Subpackages:
 * :mod:`repro.emulation` — Yardstick-style player emulation;
 * :mod:`repro.workloads` — Control, TNT, Farm, Lag, Players;
 * :mod:`repro.core` — the Meterstick harness (config, controller, runner);
+* :mod:`repro.campaign` — matrix campaigns: parallel, resumable, with a
+  ``python -m repro`` CLI;
 * :mod:`repro.analysis` — figure/table reproduction helpers.
 
 Quickstart::
@@ -18,13 +20,16 @@ Quickstart::
     print(result.isr, result.tick_stats()["mean"])
 """
 
+from repro.campaign import CampaignExecutor, CampaignSpec
 from repro.core.config import MeterstickConfig
 from repro.core.experiment import ExperimentRunner, run_iteration
 from repro.metrics import instability_ratio
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CampaignExecutor",
+    "CampaignSpec",
     "ExperimentRunner",
     "MeterstickConfig",
     "instability_ratio",

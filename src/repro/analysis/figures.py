@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.cloud.providers import get_environment
 from repro.core.experiment import run_iteration
-from repro.core.results import IterationResult
+from repro.core.results import ExperimentResult, IterationResult
 from repro.metrics import (
     box_stats,
     instability_ratio,
@@ -30,6 +30,7 @@ from repro.simtime import SimClock
 
 __all__ = [
     "FigureResult",
+    "campaign_grid",
     "run_cell",
     "fig1_response_time",
     "fig6_isr_model",
@@ -301,6 +302,38 @@ def fig12_node_sizes(duration_s: float = 60.0, seed: int = 7) -> FigureResult:
                 isr=cell.isr,
             )
     return result
+
+
+# -- Campaign results: the Fig.-8-style ISR grid from measured data --------------
+
+
+def campaign_grid(result: ExperimentResult) -> FigureResult:
+    """Fig. 8's (environment × workload × server) ISR grid, computed from
+    an already-measured :class:`ExperimentResult` instead of fresh runs.
+
+    This is how campaign exports route through the figure pipeline: a
+    campaign's merged result carries every cell the grid needs, so
+    re-simulating (what the ``fig*`` drivers do) would only burn time.
+    """
+    grid = FigureResult("campaign")
+    for it in result.iterations:
+        stats = it.tick_stats()
+        grid.row(
+            environment=it.environment,
+            workload=it.workload,
+            server=it.server,
+            scale=it.scale,
+            n_bots=it.n_bots,
+            behavior=it.behavior,
+            iteration=it.iteration,
+            isr=it.isr,
+            crashed=it.crashed,
+            tick_mean_ms=stats["mean"],
+            tick_p95_ms=stats["p95"],
+            tick_max_ms=stats["max"],
+            throttled_ticks=it.throttled_ticks,
+        )
+    return grid
 
 
 # -- Table 8 / MF4: entity share of network traffic ------------------------------

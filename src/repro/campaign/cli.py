@@ -1,0 +1,231 @@
+"""The ``repro`` command line: run, resume, inspect, and export campaigns.
+
+Usage (also via the ``repro`` console script)::
+
+    python -m repro run campaign.yaml --jobs 4
+    python -m repro resume campaign.yaml --jobs 4
+    python -m repro status meterstick-out/
+    python -m repro export meterstick-out/ --out analysis/
+
+``run``/``resume`` take a campaign spec file (YAML or JSON);
+``status``/``export`` take either a spec file or a campaign output
+directory (one containing a ``manifest.json``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.analysis.figures import campaign_grid
+from repro.core.retrieval import retrieve, summary_rows
+from repro.core.visualization import ascii_boxplot, format_table, write_csv_rows
+from repro.campaign.executor import CampaignExecutor
+from repro.campaign.planner import Job
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import JobStore
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Meterstick campaign orchestration",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run a campaign spec from scratch")
+    run.add_argument("spec", help="campaign spec file (.yaml/.yml/.json)")
+    _add_run_options(run)
+
+    resume = sub.add_parser(
+        "resume", help="finish a killed campaign, skipping completed jobs"
+    )
+    resume.add_argument(
+        "target", help="campaign spec file or campaign output directory"
+    )
+    _add_run_options(resume)
+
+    status = sub.add_parser("status", help="show per-job completion")
+    status.add_argument(
+        "target", help="campaign spec file or campaign output directory"
+    )
+
+    export = sub.add_parser(
+        "export", help="merge completed jobs and export CSVs + figure data"
+    )
+    export.add_argument(
+        "target", help="campaign spec file or campaign output directory"
+    )
+    export.add_argument(
+        "--out",
+        default=None,
+        help="export directory (default: <output_dir>/export)",
+    )
+    export.add_argument(
+        "--boxplot",
+        action="store_true",
+        help="print an ASCII tick-duration box plot per server",
+    )
+    return parser
+
+
+def _add_run_options(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes (default: the spec's jobs field)",
+    )
+    sub.add_argument(
+        "--output-dir",
+        default=None,
+        help="override the spec's output_dir",
+    )
+    sub.add_argument(
+        "--quiet", action="store_true", help="suppress per-job progress"
+    )
+
+
+def _load_spec(target: str, output_dir: str | None = None) -> CampaignSpec:
+    """Resolve a spec from a spec file or a campaign output directory."""
+    path = Path(target)
+    if path.is_dir():
+        spec = JobStore(path).manifest_spec()
+        # The manifest may predate a move of the campaign directory;
+        # trust the directory we were pointed at.
+        spec.output_dir = str(path)
+    elif path.is_file():
+        spec = CampaignSpec.from_file(path)
+    else:
+        raise FileNotFoundError(
+            f"{target!r} is neither a campaign spec file nor a campaign "
+            "output directory"
+        )
+    if output_dir is not None:
+        spec.output_dir = output_dir
+    return spec
+
+
+def _progress_printer(quiet: bool):
+    if quiet:
+        return None
+
+    def progress(job: Job, n_done: int, n_total: int) -> None:
+        print(
+            f"[{n_done}/{n_total}] {job.job_id}  {job.cell.key()}",
+            flush=True,
+        )
+
+    return progress
+
+
+def _cmd_run(args: argparse.Namespace, resume: bool) -> int:
+    target = args.spec if not resume else args.target
+    spec = _load_spec(target, args.output_dir)
+    executor = CampaignExecutor(
+        spec, jobs=args.jobs, progress=_progress_printer(args.quiet)
+    )
+    verb = "Resuming" if resume else "Running"
+    if not args.quiet:
+        print(
+            f"{verb} campaign {spec.name!r}: {spec.n_cells} cells × "
+            f"{spec.iterations} iteration(s) → {spec.output_dir} "
+            f"({executor.jobs} worker(s))"
+        )
+    result = executor.run(resume=resume)
+    if not args.quiet:
+        print(
+            f"Campaign complete: {len(result.iterations)} iteration(s) "
+            f"stored in {spec.output_dir}"
+        )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.target)
+    store = JobStore(spec.output_dir)
+    status = store.status()
+    rows = [
+        [
+            entry["job_id"],
+            *entry["cell"].split("|"),
+            "done" if entry["done"] else "pending",
+        ]
+        for entry in status["jobs"]
+    ]
+    headers = (
+        "job",
+        "server",
+        "workload",
+        "environment",
+        "scale",
+        "bots",
+        "behavior",
+        "status",
+    )
+    print(f"Campaign {spec.name!r} in {store.root}")
+    print(format_table(headers, rows))
+    print(f"{status['completed']}/{status['total']} jobs complete")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.target)
+    store = JobStore(spec.output_dir)
+    status = store.status()
+    if status["completed"] == 0:
+        print(f"no completed jobs in {store.root}", file=sys.stderr)
+        return 1
+    result = store.merge()
+    out = Path(args.out) if args.out else store.root / "export"
+    retrieve(result, out)
+    grid = campaign_grid(result)
+    if grid.rows:
+        headers = list(grid.rows[0])
+        write_csv_rows(
+            out / "campaign_grid.csv",
+            headers,
+            [[row[h] for h in headers] for row in grid.rows],
+        )
+    if status["pending"]:
+        print(
+            f"warning: exported {status['completed']}/{status['total']} "
+            "jobs; resume the campaign for the full grid",
+            file=sys.stderr,
+        )
+    print(f"Exported {len(result.iterations)} iteration(s) to {out}")
+    if args.boxplot:
+        servers = sorted({it.server for it in result.iterations})
+        series = [
+            (server, result.pooled_tick_durations(server))
+            for server in servers
+        ]
+        print()
+        print("Tick durations per server:")
+        print(ascii_boxplot(series))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "run":
+            return _cmd_run(args, resume=False)
+        if args.command == "resume":
+            return _cmd_run(args, resume=True)
+        if args.command == "status":
+            return _cmd_status(args)
+        if args.command == "export":
+            return _cmd_export(args)
+    except (FileNotFoundError, FileExistsError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Campaign execution: independent server chains across a process pool.
+
+Each job (one matrix cell's server chain) is self-contained — its machine,
+clock, and every RNG seed derive only from the spec — so jobs can run in
+any order, in any process, and produce bit-identical results.  The
+executor exploits that: with ``jobs=1`` it runs chains inline; with
+``jobs=N`` it fans them out over a ``multiprocessing`` pool.  Either way
+the parent process writes one shard per finished job into the
+:class:`~repro.campaign.store.JobStore`, which is what makes a killed
+campaign resumable.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from collections.abc import Callable
+
+from repro.core.experiment import run_server_chain
+from repro.core.results import ExperimentResult
+from repro.campaign.planner import Job, JobPlanner
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import JobStore
+
+__all__ = ["CampaignExecutor", "execute_job"]
+
+#: Progress callback: (job, n_done, n_total).
+ProgressFn = Callable[[Job, int, int], None]
+
+#: Spec fields that may differ between run and resume: where results are
+#: stored and how many workers run — never what gets measured.
+_RESUME_IGNORED_FIELDS = ("output_dir", "jobs")
+
+
+def _ensure_spec_unchanged(recorded: dict, current: dict, root) -> None:
+    """Refuse to resume when the spec's measurement parameters changed.
+
+    Job ids only encode each cell's identity, so edits to e.g.
+    ``duration_s`` or ``iterations`` between run and resume would
+    silently mix measurements taken under different parameters."""
+    changed = sorted(
+        key
+        for key in set(recorded) | set(current)
+        if key not in _RESUME_IGNORED_FIELDS
+        and recorded.get(key) != current.get(key)
+    )
+    if changed:
+        raise ValueError(
+            f"campaign spec changed since {root} was started "
+            f"(fields: {', '.join(changed)}); completed shards were "
+            "measured under the old spec — rerun into a fresh output_dir"
+        )
+
+
+def execute_job(payload: dict) -> tuple[dict, list[dict]]:
+    """Run one job's server chain; the unit shipped to worker processes.
+
+    Takes and returns plain JSON-able dicts so the same function serves
+    the serial path, ``multiprocessing`` pickling, and shard files.
+    """
+    spec = CampaignSpec.from_dict(payload["spec"])
+    job = Job.from_dict(payload["job"])
+    config = JobPlanner(spec).job_config(job)
+    iterations = run_server_chain(config, job.server)
+    return payload["job"], [it.to_dict() for it in iterations]
+
+
+class CampaignExecutor:
+    """Plans, runs, and persists one campaign."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: JobStore | None = None,
+        jobs: int | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store if store is not None else JobStore(spec.output_dir)
+        self.jobs = jobs if jobs is not None else spec.jobs
+        if self.jobs < 1:
+            raise ValueError(f"jobs must be >= 1: {self.jobs!r}")
+        self.progress = progress
+
+    def run(self, resume: bool = False) -> ExperimentResult:
+        """Execute the campaign and return the merged result.
+
+        With ``resume=True``, jobs that already have a shard on disk are
+        skipped; without it, a non-empty store is an error (never silently
+        clobber or silently reuse a previous campaign's measurements).
+        """
+        planner = JobPlanner(self.spec)
+        plan = planner.plan()
+        if resume:
+            manifest = self.store.read_manifest()
+            if manifest is not None:
+                _ensure_spec_unchanged(
+                    manifest["spec"], self.spec.to_dict(), self.store.root
+                )
+        completed = self.store.completed_ids()
+        stale = completed - {job.job_id for job in plan}
+        if completed and not resume:
+            raise FileExistsError(
+                f"{self.store.root} already holds {len(completed)} completed "
+                "job(s); resume the campaign or choose a fresh output_dir"
+            )
+        if stale:
+            raise ValueError(
+                f"{self.store.root} holds {len(stale)} shard(s) from a "
+                "different campaign spec; choose a fresh output_dir"
+            )
+        self.store.write_manifest(self.spec, plan)
+        pending = [job for job in plan if job.job_id not in completed]
+        n_total = len(plan)
+        n_done = n_total - len(pending)
+        payloads = [
+            {"spec": self.spec.to_dict(), "job": job.to_dict()}
+            for job in pending
+        ]
+        if self.jobs > 1 and len(pending) > 1:
+            results = self._run_parallel(payloads)
+        else:
+            results = map(execute_job, payloads)
+        for job_dict, iteration_dicts in results:
+            job = Job.from_dict(job_dict)
+            self.store.save_job_payload(job, iteration_dicts)
+            n_done += 1
+            if self.progress is not None:
+                self.progress(job, n_done, n_total)
+        return self.store.merge(plan)
+
+    def _run_parallel(self, payloads: list[dict]):
+        """Fan pending jobs out over a process pool, yielding completions.
+
+        ``imap_unordered`` streams results back as chains finish, so
+        shards land (and resume-progress accrues) job by job rather than
+        all at once; merge order is restored from the plan afterwards.
+        """
+        n_workers = min(self.jobs, len(payloads))
+        with multiprocessing.Pool(processes=n_workers) as pool:
+            yield from pool.imap_unordered(execute_job, payloads)

@@ -1,0 +1,96 @@
+"""Job planning: expand a campaign matrix into schedulable jobs.
+
+A *job* is one server chain — every iteration of one matrix cell.
+Iterations within a cell share a machine and clock (the deployment reuses
+nodes, and burst credits carry over), so they must stay ordered; distinct
+cells are fully independent, which is what lets the executor run them in
+parallel while staying bit-identical with a sequential run.
+
+Job ids reuse the repo's CRC32 stable-hash scheme
+(:func:`repro.core.config.stable_crc`, the same function behind
+``MeterstickConfig.iteration_seed``), so a spec always plans the same ids
+— the property resumption depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+from repro.core.config import MeterstickConfig, stable_crc
+from repro.campaign.spec import CampaignCell, CampaignSpec
+
+__all__ = ["Job", "JobPlanner"]
+
+
+@dataclass(frozen=True)
+class Job:
+    """One schedulable unit: a matrix cell and its stable identity."""
+
+    job_id: str
+    index: int
+    server: str
+    workload: str
+    environment: str
+    scale: float
+    n_bots: int
+    behavior: str
+
+    @property
+    def cell(self) -> CampaignCell:
+        return CampaignCell(
+            server=self.server,
+            workload=self.workload,
+            environment=self.environment,
+            scale=self.scale,
+            n_bots=self.n_bots,
+            behavior=self.behavior,
+        )
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Job":
+        return cls(**data)
+
+
+class JobPlanner:
+    """Expands a :class:`CampaignSpec` into a deterministic job list."""
+
+    def __init__(self, spec: CampaignSpec) -> None:
+        self.spec = spec
+
+    def job_id(self, cell: CampaignCell) -> str:
+        """Stable id: CRC32 of the campaign seed and the cell identity."""
+        return f"{stable_crc(self.spec.seed, cell.key()):08x}"
+
+    def plan(self) -> list[Job]:
+        """One job per matrix cell, in deterministic expansion order."""
+        jobs: list[Job] = []
+        seen: dict[str, CampaignCell] = {}
+        for index, cell in enumerate(self.spec.cells()):
+            job_id = self.job_id(cell)
+            if job_id in seen:
+                raise ValueError(
+                    f"duplicate job id {job_id} for cells "
+                    f"{seen[job_id].key()!r} and {cell.key()!r}; "
+                    "remove duplicate axis values from the spec"
+                )
+            seen[job_id] = cell
+            jobs.append(
+                Job(
+                    job_id=job_id,
+                    index=index,
+                    server=cell.server,
+                    workload=cell.workload,
+                    environment=cell.environment,
+                    scale=cell.scale,
+                    n_bots=cell.n_bots,
+                    behavior=cell.behavior,
+                )
+            )
+        return jobs
+
+    def job_config(self, job: Job) -> MeterstickConfig:
+        """The single-cell config this job's server chain executes."""
+        return self.spec.cell_config(job.cell)

@@ -1,0 +1,165 @@
+"""Resumable on-disk job store (one JSON shard per completed job).
+
+Layout, under the campaign's ``output_dir``::
+
+    output_dir/
+      manifest.json        the spec and the planned job list
+      jobs/<job_id>.json   one shard per *completed* job
+
+Shards are written atomically (temp file + ``os.replace``), so a campaign
+killed mid-run leaves either a complete shard or none — never a torn one.
+``resume`` is then just "skip every job that already has a shard".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.core.results import ExperimentResult, IterationResult
+from repro.campaign.planner import Job
+from repro.campaign.spec import CampaignSpec
+
+__all__ = ["JobStore"]
+
+MANIFEST_NAME = "manifest.json"
+SHARD_DIR = "jobs"
+
+
+def _iteration_from_dict(raw: dict) -> IterationResult:
+    raw = dict(raw)
+    raw.pop("isr", None)  # derived property, not a constructor field
+    return IterationResult(**raw)
+
+
+class JobStore:
+    """Reads and writes one campaign's on-disk state."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    @property
+    def shard_dir(self) -> Path:
+        return self.root / SHARD_DIR
+
+    def shard_path(self, job_id: str) -> Path:
+        return self.shard_dir / f"{job_id}.json"
+
+    # -- manifest -----------------------------------------------------------
+
+    def write_manifest(self, spec: CampaignSpec, jobs: list[Job]) -> Path:
+        self.root.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "name": spec.name,
+            "spec": spec.to_dict(),
+            "jobs": [job.to_dict() for job in jobs],
+        }
+        self._write_atomic(self.manifest_path, payload)
+        return self.manifest_path
+
+    def read_manifest(self) -> dict | None:
+        if not self.manifest_path.exists():
+            return None
+        return json.loads(self.manifest_path.read_text())
+
+    def manifest_spec(self) -> CampaignSpec:
+        manifest = self.read_manifest()
+        if manifest is None:
+            raise FileNotFoundError(
+                f"no campaign manifest at {self.manifest_path}"
+            )
+        return CampaignSpec.from_dict(manifest["spec"])
+
+    def manifest_jobs(self) -> list[Job]:
+        manifest = self.read_manifest()
+        if manifest is None:
+            raise FileNotFoundError(
+                f"no campaign manifest at {self.manifest_path}"
+            )
+        return [Job.from_dict(raw) for raw in manifest["jobs"]]
+
+    # -- shards -------------------------------------------------------------
+
+    def save_job(
+        self, job: Job, iterations: list[IterationResult]
+    ) -> Path:
+        self.shard_dir.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "job": job.to_dict(),
+            "iterations": [it.to_dict() for it in iterations],
+        }
+        path = self.shard_path(job.job_id)
+        self._write_atomic(path, payload)
+        return path
+
+    def save_job_payload(self, job: Job, iterations: list[dict]) -> Path:
+        """Like :meth:`save_job` for already-serialized iteration dicts
+        (what worker processes return)."""
+        return self.save_job(
+            job, [_iteration_from_dict(raw) for raw in iterations]
+        )
+
+    def load_job(self, job_id: str) -> list[IterationResult] | None:
+        path = self.shard_path(job_id)
+        if not path.exists():
+            return None
+        payload = json.loads(path.read_text())
+        return [_iteration_from_dict(raw) for raw in payload["iterations"]]
+
+    def completed_ids(self) -> set[str]:
+        if not self.shard_dir.is_dir():
+            return set()
+        return {path.stem for path in self.shard_dir.glob("*.json")}
+
+    # -- aggregation --------------------------------------------------------
+
+    def merge(self, jobs: list[Job] | None = None) -> ExperimentResult:
+        """Merge completed shards into one :class:`ExperimentResult`.
+
+        Iterations are concatenated in planned job order (then iteration
+        order within each job), so the merged result — and everything
+        derived from it, ``summary.csv`` included — is identical no matter
+        how many workers ran the campaign or in which order shards landed.
+        """
+        manifest = self.read_manifest()
+        if jobs is None:
+            jobs = self.manifest_jobs()
+        result = ExperimentResult(
+            config=manifest["spec"] if manifest else {}
+        )
+        for job in sorted(jobs, key=lambda j: j.index):
+            iterations = self.load_job(job.job_id)
+            if iterations is not None:
+                result.iterations.extend(iterations)
+        return result
+
+    def status(self) -> dict:
+        """Per-job completion map plus aggregate counts."""
+        jobs = self.manifest_jobs()
+        done = self.completed_ids()
+        return {
+            "total": len(jobs),
+            "completed": sum(1 for job in jobs if job.job_id in done),
+            "pending": sum(1 for job in jobs if job.job_id not in done),
+            "jobs": [
+                {
+                    "job_id": job.job_id,
+                    "cell": job.cell.key(),
+                    "done": job.job_id in done,
+                }
+                for job in sorted(jobs, key=lambda j: j.index)
+            ],
+        }
+
+    # -- internals ----------------------------------------------------------
+
+    @staticmethod
+    def _write_atomic(path: Path, payload: dict) -> None:
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=2))
+        os.replace(tmp, path)

@@ -11,7 +11,7 @@ from repro.core.collectors import (
     SystemSample,
     TickDistribution,
 )
-from repro.core.config import MeterstickConfig
+from repro.core.config import MeterstickConfig, stable_crc
 from repro.core.controller import (
     ControlClient,
     ControlError,
@@ -19,7 +19,11 @@ from repro.core.controller import (
     Transport,
 )
 from repro.core.deployment import Deployment, Node
-from repro.core.experiment import ExperimentRunner, run_iteration
+from repro.core.experiment import (
+    ExperimentRunner,
+    run_iteration,
+    run_server_chain,
+)
 from repro.core.messages import Message, MessageType
 from repro.core.results import ExperimentResult, IterationResult
 from repro.core.retrieval import retrieve, summary_rows
@@ -53,6 +57,8 @@ __all__ = [
     "format_table",
     "retrieve",
     "run_iteration",
+    "run_server_chain",
+    "stable_crc",
     "summary_rows",
     "write_csv_rows",
     "write_csv_series",

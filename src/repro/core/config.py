@@ -12,12 +12,25 @@ import zlib
 from dataclasses import dataclass, field, asdict
 
 from repro.cloud.providers import get_environment
+from repro.emulation.behavior import BEHAVIORS
 from repro.mlg.variants import get_variant
 from repro.workloads import WORKLOADS
 
-__all__ = ["MeterstickConfig", "DEFAULT_JMX_PORT_RANGE"]
+__all__ = ["MeterstickConfig", "DEFAULT_JMX_PORT_RANGE", "stable_crc"]
 
 DEFAULT_JMX_PORT_RANGE = (25585, 25635)
+
+
+def stable_crc(*parts: object) -> int:
+    """CRC32 of ``parts`` joined with ``|``, masked to a positive int31.
+
+    The repo-wide stable-hash scheme: CRC32 rather than ``hash()`` because
+    Python string hashing is salted per process, which would make seeds
+    and job ids unreproducible across runs.  Used for iteration seeds here
+    and for campaign job ids in :mod:`repro.campaign.planner`.
+    """
+    key = "|".join(str(part) for part in parts).encode()
+    return zlib.crc32(key) & 0x7FFFFFFF
 
 
 @dataclass
@@ -85,6 +98,11 @@ class MeterstickConfig:
             raise ValueError(f"iterations must be >= 1: {self.iterations!r}")
         if self.number_of_bots < 0:
             raise ValueError(f"bots must be >= 0: {self.number_of_bots!r}")
+        if self.behavior.lower() not in BEHAVIORS:
+            known = ", ".join(BEHAVIORS)
+            raise ValueError(
+                f"unknown behavior {self.behavior!r}; known: {known}"
+            )
         if self.scale <= 0:
             raise ValueError(f"scale must be positive: {self.scale!r}")
         if self.ram_gb <= 0:
@@ -114,5 +132,4 @@ class MeterstickConfig:
         salted per process, which would make campaigns unreproducible
         across runs.
         """
-        key = f"{self.seed}|{server}|{iteration}".encode()
-        return zlib.crc32(key) & 0x7FFFFFFF
+        return stable_crc(self.seed, server, iteration)

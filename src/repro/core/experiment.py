@@ -22,7 +22,7 @@ from repro.mlg.server import MLGServer
 from repro.simtime import SimClock, s_to_us
 from repro.workloads import get_workload
 
-__all__ = ["ExperimentRunner", "run_iteration"]
+__all__ = ["ExperimentRunner", "run_iteration", "run_server_chain"]
 
 
 def run_iteration(
@@ -33,6 +33,7 @@ def run_iteration(
     seed: int = 0,
     scale: float = 1.0,
     n_bots: int = 25,
+    behavior: str = "bounded-random",
     machine=None,
     clock: SimClock | None = None,
     iteration: int = 0,
@@ -51,6 +52,7 @@ def run_iteration(
     workload_kwargs = {}
     if workload_name.lower() == "players":
         workload_kwargs["n_bots"] = n_bots
+        workload_kwargs["behavior"] = behavior
     workload = get_workload(workload_name, scale=scale, **workload_kwargs)
     world = workload.create_world(seed)
     server = MLGServer(
@@ -94,7 +96,53 @@ def run_iteration(
         crash_reason=server.crash_reason,
         throttled_ticks=machine.throttled_executions,
         final_credits_s=machine.credits_s,
+        scale=scale,
+        n_bots=n_bots,
+        behavior=behavior,
     )
+
+
+def run_server_chain(
+    config: MeterstickConfig, server_name: str
+) -> list[IterationResult]:
+    """Run every iteration of one server on one persistent machine.
+
+    Iterations of a server chain share a machine and clock (the deployment
+    reuses nodes), so they must stay ordered; distinct chains are
+    independent and may run concurrently — this is the unit of work the
+    campaign executor distributes across processes.
+    """
+    env = get_environment(config.environment)
+    machine = env.create_machine(seed=config.iteration_seed(server_name, -1))
+    if config.warm_machines:
+        machine.drain_credits()
+    clock = SimClock()
+    iterations: list[IterationResult] = []
+    for iteration in range(config.iterations):
+        seed = config.iteration_seed(server_name, iteration)
+        # Machine throttle counts are cumulative across the chain; bracket
+        # the iteration to attribute only its own throttled executions.
+        throttled_before = machine.throttled_executions
+        iteration_result = run_iteration(
+            workload_name=config.world,
+            server_name=server_name,
+            environment_name=config.environment,
+            duration_s=config.duration_s,
+            seed=seed,
+            scale=config.scale,
+            n_bots=config.number_of_bots,
+            behavior=config.behavior,
+            machine=machine,
+            clock=clock,
+            iteration=iteration,
+        )
+        iteration_result.throttled_ticks = (
+            machine.throttled_executions - throttled_before
+        )
+        iterations.append(iteration_result)
+        # Teardown/setup gap: the node idles, credits accrue.
+        clock.advance(s_to_us(config.inter_iteration_gap_s))
+    return iterations
 
 
 class ExperimentRunner:
@@ -107,33 +155,6 @@ class ExperimentRunner:
         """Run all servers × iterations; returns the collected results."""
         config = self.config
         result = ExperimentResult(config=config.to_dict())
-        env = get_environment(config.environment)
         for server_name in config.servers:
-            machine = env.create_machine(
-                seed=config.iteration_seed(server_name, -1)
-            )
-            if config.warm_machines:
-                machine.drain_credits()
-            clock = SimClock()
-            last_throttled = 0
-            for iteration in range(config.iterations):
-                seed = config.iteration_seed(server_name, iteration)
-                iteration_result = run_iteration(
-                    workload_name=config.world,
-                    server_name=server_name,
-                    environment_name=config.environment,
-                    duration_s=config.duration_s,
-                    seed=seed,
-                    scale=config.scale,
-                    n_bots=config.number_of_bots,
-                    machine=machine,
-                    clock=clock,
-                    iteration=iteration,
-                )
-                # Per-iteration throttle count (machine's is cumulative).
-                iteration_result.throttled_ticks -= last_throttled
-                last_throttled = machine.throttled_executions
-                result.iterations.append(iteration_result)
-                # Teardown/setup gap: the node idles, credits accrue.
-                clock.advance(s_to_us(config.inter_iteration_gap_s))
+            result.iterations.extend(run_server_chain(config, server_name))
         return result

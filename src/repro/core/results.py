@@ -39,6 +39,10 @@ class IterationResult:
     crash_reason: str | None
     throttled_ticks: int
     final_credits_s: float
+    # Cell provenance (defaults keep pre-campaign result files loadable).
+    scale: float = 1.0
+    n_bots: int = 0
+    behavior: str = ""
 
     @property
     def isr(self) -> float:

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from pathlib import Path
 
-from repro.core.results import ExperimentResult
+from repro.core.results import ExperimentResult, IterationResult
 from repro.core.visualization import write_csv_rows, write_csv_series
 
 __all__ = ["retrieve", "summary_rows"]
@@ -31,7 +31,42 @@ _SUMMARY_HEADERS = (
     "rt_max_ms",
     "crashed",
     "throttled_ticks",
+    "scale",
+    "bots",
+    "behavior",
 )
+
+#: Fields (besides server/iteration) that can distinguish two iterations
+#: of a merged campaign result.
+_CELL_FIELDS = ("workload", "environment", "scale", "n_bots", "behavior")
+
+
+def _series_subdir(result: ExperimentResult):
+    """Per-iteration series directory, unique within ``result``.
+
+    A single-config result keeps the flat ``<server>/`` layout; a merged
+    campaign (where several cells share a server) nests one directory per
+    distinct cell so series files cannot clobber each other.  Only the
+    fields that actually vary go into the directory name.
+    """
+    varying = [
+        name
+        for name in _CELL_FIELDS
+        if len({getattr(it, name) for it in result.iterations}) > 1
+    ]
+
+    def subdir(it: IterationResult) -> str:
+        if not varying:
+            return it.server
+        label = "_".join(
+            f"{getattr(it, name):g}"
+            if isinstance(getattr(it, name), float)
+            else str(getattr(it, name))
+            for name in varying
+        )
+        return f"{it.server}/{label}"
+
+    return subdir
 
 
 def summary_rows(result: ExperimentResult) -> list[list[object]]:
@@ -57,6 +92,9 @@ def summary_rows(result: ExperimentResult) -> list[list[object]]:
                 round(response["max"], 3) if response else "",
                 it.crashed,
                 it.throttled_ticks,
+                it.scale,
+                it.n_bots,
+                it.behavior,
             ]
         )
     return rows
@@ -72,6 +110,11 @@ def retrieve(result: ExperimentResult, output_dir: str | Path) -> Path:
           results.json                     full FAIR export
           <server>/iter<k>_ticks.csv       tick-duration series
           <server>/iter<k>_responses.csv   response-time series
+
+    For a merged campaign result, where one server appears in several
+    matrix cells, the series files nest one level deeper —
+    ``<server>/<cell>/iter<k>_*.csv`` with ``<cell>`` naming the matrix
+    fields that vary — so cells cannot overwrite each other's series.
     """
     output_dir = Path(output_dir)
     output_dir.mkdir(parents=True, exist_ok=True)
@@ -79,16 +122,17 @@ def retrieve(result: ExperimentResult, output_dir: str | Path) -> Path:
         output_dir / "summary.csv", _SUMMARY_HEADERS, summary_rows(result)
     )
     result.save_json(output_dir / "results.json")
+    subdir = _series_subdir(result)
     for it in result.iterations:
-        server_dir = output_dir / it.server
+        series_dir = output_dir / subdir(it)
         write_csv_series(
-            server_dir / f"iter{it.iteration}_ticks.csv",
+            series_dir / f"iter{it.iteration}_ticks.csv",
             "tick_duration_ms",
             it.tick_durations_ms,
         )
         if it.response_times_ms:
             write_csv_series(
-                server_dir / f"iter{it.iteration}_responses.csv",
+                series_dir / f"iter{it.iteration}_responses.csv",
                 "response_time_ms",
                 it.response_times_ms,
             )

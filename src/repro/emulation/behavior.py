@@ -12,7 +12,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["Behavior", "BoundedRandomWalk", "Idle"]
+__all__ = [
+    "BEHAVIORS",
+    "Behavior",
+    "BoundedRandomWalk",
+    "Idle",
+    "make_behavior",
+]
 
 
 class Behavior:
@@ -69,3 +75,24 @@ class Idle(Behavior):
         self, x: float, z: float, rng: np.random.Generator
     ) -> tuple[float, float] | None:
         return None
+
+
+#: Behaviour names accepted by ``MeterstickConfig.behavior`` (Table 4).
+BEHAVIORS = ("bounded-random", "idle")
+
+
+def make_behavior(
+    name: str, area: tuple[float, float, float, float] = (0.0, 0.0, 32.0, 32.0)
+) -> Behavior:
+    """Instantiate a behaviour by its config name.
+
+    ``area`` is the walk box used by movement behaviours; idle behaviours
+    ignore it.
+    """
+    key = name.lower()
+    if key == "idle":
+        return Idle()
+    if key == "bounded-random":
+        return BoundedRandomWalk(*area)
+    known = ", ".join(BEHAVIORS)
+    raise ValueError(f"unknown behavior {name!r}; known: {known}")

@@ -12,7 +12,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.cloud.network import NetworkModel
-from repro.emulation.behavior import Behavior, BoundedRandomWalk, Idle
+from repro.emulation.behavior import Behavior, Idle, make_behavior
 from repro.emulation.bot import EmulatedPlayer
 from repro.mlg.server import MLGServer
 
@@ -74,13 +74,18 @@ class BotSwarm:
         n_bots: int = 25,
         area: tuple[float, float, float, float] = (0.0, 0.0, 32.0, 32.0),
         stagger_s: float = 0.25,
+        behavior: str = "bounded-random",
     ) -> None:
-        """The paper's Players workload: bots random-walking a 32×32 box."""
+        """The paper's Players workload: ``n_bots`` bots in a 32×32 box.
+
+        ``behavior`` selects how each bot moves (Table 4): the default
+        bounded random walk, or ``"idle"`` for stationary players.
+        """
         x0, z0, x1, z1 = area
         for i in range(n_bots):
             self.add_bot(
                 name=f"bot-{i}",
-                behavior=BoundedRandomWalk(x0, z0, x1, z1),
+                behavior=make_behavior(behavior, area),
                 spawn_x=float(self.rng.uniform(x0, x1)),
                 spawn_z=float(self.rng.uniform(z0, z1)),
                 connect_delay_s=i * stagger_s,

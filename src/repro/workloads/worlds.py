@@ -187,12 +187,18 @@ class PlayersWorkload(Workload):
     description = "25 emulated players random-walking a 32x32 area"
     player_based = True
 
-    def __init__(self, scale: float = 1.0, n_bots: int = 25) -> None:
+    def __init__(
+        self,
+        scale: float = 1.0,
+        n_bots: int = 25,
+        behavior: str = "bounded-random",
+    ) -> None:
         super().__init__(scale)
         self.n_bots = max(1, int(n_bots * scale))
+        self.behavior = behavior
 
     def create_world(self, seed: int) -> World:
         return World(generator=TerrainGenerator(seed=seed ^ PAPER_SEED))
 
     def install(self, server: MLGServer, swarm: BotSwarm) -> None:
-        swarm.add_player_workload(n_bots=self.n_bots)
+        swarm.add_player_workload(n_bots=self.n_bots, behavior=self.behavior)

@@ -1,0 +1,124 @@
+"""Satellite coverage: behavior wiring and per-iteration throttle deltas."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import get_environment
+from repro.core import MeterstickConfig, run_iteration, run_server_chain
+from repro.emulation import BotSwarm
+from repro.emulation.behavior import (
+    BEHAVIORS,
+    BoundedRandomWalk,
+    Idle,
+    make_behavior,
+)
+from repro.mlg.server import MLGServer
+from repro.mlg.world import World
+from repro.workloads import get_workload
+
+
+class TestBehaviorRegistry:
+    def test_registry_names(self):
+        assert set(BEHAVIORS) == {"bounded-random", "idle"}
+
+    def test_make_behavior(self):
+        assert isinstance(make_behavior("idle"), Idle)
+        walk = make_behavior("Bounded-Random", (0.0, 0.0, 8.0, 8.0))
+        assert isinstance(walk, BoundedRandomWalk)
+        assert (walk.x1, walk.z1) == (8.0, 8.0)
+        with pytest.raises(ValueError, match="moonwalk"):
+            make_behavior("moonwalk")
+
+
+class TestBehaviorWiring:
+    def test_config_validates_behavior(self):
+        assert MeterstickConfig(behavior="idle").behavior == "idle"
+        with pytest.raises(ValueError, match="behavior"):
+            MeterstickConfig(behavior="moonwalk")
+
+    def test_swarm_uses_selected_behavior(self):
+        env = get_environment("das5-2core")
+        for name, expected in (("idle", Idle), ("bounded-random",
+                                                BoundedRandomWalk)):
+            machine = env.create_machine(seed=1)
+            server = MLGServer("vanilla", machine, world=World(), seed=1)
+            swarm = BotSwarm(server, env.network,
+                             np.random.default_rng(1))
+            swarm.add_player_workload(n_bots=3, stagger_s=0.0,
+                                      behavior=name)
+            assert len(swarm.bots) == 3
+            assert all(
+                isinstance(bot.behavior, expected) for bot in swarm.bots
+            )
+
+    def test_players_workload_threads_behavior(self):
+        workload = get_workload("players", n_bots=4, behavior="idle")
+        assert workload.behavior == "idle"
+
+    def test_idle_players_generate_no_player_movement(self):
+        """Idle bots probe (chat) but their avatars never move, so the
+        server broadcasts far fewer entity_move packets (only mobs)."""
+        idle = run_iteration(
+            "players", "vanilla", "das5-2core",
+            duration_s=1.5, seed=5, n_bots=4, behavior="idle",
+        )
+        walking = run_iteration(
+            "players", "vanilla", "das5-2core",
+            duration_s=1.5, seed=5, n_bots=4, behavior="bounded-random",
+        )
+        assert (
+            idle.packet_counts.get("entity_move", 0)
+            < walking.packet_counts.get("entity_move", 0) / 2
+        )
+        # Both still measure response times via chat probes.
+        assert idle.response_times_ms
+
+
+class TestThrottleAccounting:
+    def test_per_iteration_deltas_sum_to_machine_total(self):
+        """The Lag workload on a burstable t3 throttles once credits run
+        out; the per-iteration deltas must partition the cumulative count."""
+        config = MeterstickConfig(
+            servers=["vanilla"],
+            world="lag",
+            environment="aws-t3.large",
+            duration_s=4.0,
+            iterations=3,
+            warm_machines=True,
+            seed=2,
+        )
+        chain = run_server_chain(config, "vanilla")
+        assert len(chain) == 3
+        assert any(it.throttled_ticks > 0 for it in chain)
+        assert all(it.throttled_ticks >= 0 for it in chain)
+
+        # Replay the same chain by hand on a shared machine and check the
+        # helper's deltas partition the machine's cumulative counter.
+        from repro.simtime import SimClock, s_to_us
+
+        env = get_environment(config.environment)
+        machine = env.create_machine(
+            seed=config.iteration_seed("vanilla", -1)
+        )
+        machine.drain_credits()
+        clock = SimClock()
+        cumulative = []
+        for iteration in range(config.iterations):
+            run_iteration(
+                config.world,
+                "vanilla",
+                config.environment,
+                duration_s=config.duration_s,
+                seed=config.iteration_seed("vanilla", iteration),
+                machine=machine,
+                clock=clock,
+                iteration=iteration,
+            )
+            cumulative.append(machine.throttled_executions)
+            clock.advance(s_to_us(config.inter_iteration_gap_s))
+        deltas = [
+            count - (cumulative[i - 1] if i else 0)
+            for i, count in enumerate(cumulative)
+        ]
+        assert [it.throttled_ticks for it in chain] == deltas
+        assert sum(it.throttled_ticks for it in chain) == cumulative[-1]

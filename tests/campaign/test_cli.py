@@ -1,0 +1,93 @@
+"""CLI round-trip: run → status → kill → resume → export on a tmp dir."""
+
+import json
+
+import pytest
+
+from repro.campaign import JobStore
+from repro.campaign.cli import main
+
+
+@pytest.fixture()
+def spec_file(tmp_path):
+    spec = {
+        "name": "cli-tiny",
+        "servers": ["vanilla"],
+        "workloads": ["control", "players"],
+        "environments": ["das5-2core"],
+        "bot_counts": [4],
+        "iterations": 1,
+        "duration_s": 1.5,
+        "seed": 3,
+        "output_dir": str(tmp_path / "out"),
+    }
+    path = tmp_path / "campaign.json"
+    path.write_text(json.dumps(spec))
+    return path
+
+
+class TestCli:
+    def test_run_status_export_round_trip(
+        self, spec_file, tmp_path, capsys
+    ):
+        assert main(["run", str(spec_file), "--quiet"]) == 0
+        out_dir = tmp_path / "out"
+        assert (out_dir / "manifest.json").exists()
+        assert len(list((out_dir / "jobs").glob("*.json"))) == 2
+
+        assert main(["status", str(out_dir)]) == 0
+        status_out = capsys.readouterr().out
+        assert "2/2 jobs complete" in status_out
+
+        assert main(["export", str(out_dir)]) == 0
+        export_dir = out_dir / "export"
+        summary = (export_dir / "summary.csv").read_text()
+        assert summary.count("\n") == 3  # header + 2 iterations
+        assert "behavior" in summary.splitlines()[0]
+        assert (export_dir / "results.json").exists()
+        grid = (export_dir / "campaign_grid.csv").read_text()
+        assert "isr" in grid.splitlines()[0]
+        assert "n_bots" in grid.splitlines()[0]
+        # Cells sharing a server must not clobber each other's series:
+        # the varying axis (workload) becomes a subdirectory.
+        assert (export_dir / "vanilla" / "control"
+                / "iter0_ticks.csv").exists()
+        assert (export_dir / "vanilla" / "players"
+                / "iter0_ticks.csv").exists()
+
+    def test_rerun_refused_then_resume_completes(
+        self, spec_file, tmp_path, capsys
+    ):
+        assert main(["run", str(spec_file), "--quiet"]) == 0
+        assert main(["run", str(spec_file), "--quiet"]) == 2
+        assert "resume" in capsys.readouterr().err
+
+        store = JobStore(tmp_path / "out")
+        shard = sorted(store.shard_dir.iterdir())[0]
+        shard.unlink()
+        assert main(["resume", str(spec_file), "--quiet"]) == 0
+        assert len(store.completed_ids()) == 2
+
+        # Resuming a finished campaign is a no-op, not an error.
+        assert main(["resume", str(tmp_path / "out"), "--quiet"]) == 0
+
+    def test_status_on_missing_target_errors(self, tmp_path, capsys):
+        assert main(["status", str(tmp_path / "nope")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_export_without_completed_jobs_errors(
+        self, spec_file, tmp_path, capsys
+    ):
+        spec = json.loads(spec_file.read_text())
+        store = JobStore(spec["output_dir"])
+        from repro.campaign import CampaignSpec, JobPlanner
+
+        campaign = CampaignSpec.from_dict(spec)
+        store.write_manifest(campaign, JobPlanner(campaign).plan())
+        assert main(["export", str(tmp_path / "out")]) == 1
+        assert "no completed jobs" in capsys.readouterr().err
+
+    def test_boxplot_export(self, spec_file, tmp_path, capsys):
+        assert main(["run", str(spec_file), "--quiet"]) == 0
+        assert main(["export", str(tmp_path / "out"), "--boxplot"]) == 0
+        assert "Tick durations per server" in capsys.readouterr().out

@@ -1,0 +1,165 @@
+"""Tests for the on-disk job store and the parallel/serial executor."""
+
+import json
+
+import pytest
+
+from repro.campaign import (
+    CampaignExecutor,
+    CampaignSpec,
+    JobPlanner,
+    JobStore,
+)
+from repro.campaign import executor as executor_module
+from repro.core.experiment import run_server_chain
+
+
+def tiny_spec(tmp_path, **kwargs) -> CampaignSpec:
+    base = dict(
+        name="tiny",
+        servers=["vanilla", "papermc"],
+        workloads=["control"],
+        environments=["das5-2core", "aws-t3.large"],
+        iterations=2,
+        duration_s=1.5,
+        seed=11,
+        output_dir=str(tmp_path / "out"),
+    )
+    base.update(kwargs)
+    return CampaignSpec(**base)
+
+
+class TestStore:
+    def test_shard_round_trip(self, tmp_path):
+        spec = tiny_spec(tmp_path)
+        job = JobPlanner(spec).plan()[0]
+        iterations = run_server_chain(
+            JobPlanner(spec).job_config(job), job.server
+        )
+        store = JobStore(spec.output_dir)
+        store.save_job(job, iterations)
+        loaded = store.load_job(job.job_id)
+        assert loaded == iterations
+        assert store.completed_ids() == {job.job_id}
+
+    def test_no_torn_shards(self, tmp_path):
+        spec = tiny_spec(tmp_path)
+        store = JobStore(spec.output_dir)
+        job = JobPlanner(spec).plan()[0]
+        store.save_job(job, [])
+        # The atomic-write temp file must not linger as a phantom shard.
+        assert list(store.shard_dir.glob("*.tmp")) == []
+
+    def test_merge_orders_by_plan_index(self, tmp_path):
+        spec = tiny_spec(tmp_path)
+        planner = JobPlanner(spec)
+        plan = planner.plan()
+        store = JobStore(spec.output_dir)
+        store.write_manifest(spec, plan)
+        # Save shards in reverse order; merge must restore plan order.
+        for job in reversed(plan):
+            store.save_job(
+                job, run_server_chain(planner.job_config(job), job.server)
+            )
+        merged = store.merge()
+        cells = [
+            (it.server, it.environment, it.iteration)
+            for it in merged.iterations
+        ]
+        expected = [
+            (job.server, job.environment, iteration)
+            for job in plan
+            for iteration in range(spec.iterations)
+        ]
+        assert cells == expected
+
+
+class TestExecutor:
+    def test_serial_and_parallel_results_identical(self, tmp_path):
+        spec_a = tiny_spec(tmp_path, output_dir=str(tmp_path / "serial"))
+        spec_b = tiny_spec(tmp_path, output_dir=str(tmp_path / "parallel"))
+        serial = CampaignExecutor(spec_a, jobs=1).run()
+        parallel = CampaignExecutor(spec_b, jobs=2).run()
+        assert len(serial.iterations) == 2 * 2 * 2
+        assert serial.iterations == parallel.iterations
+        # Byte-identical shards on disk, too.
+        for shard in sorted((tmp_path / "serial" / "jobs").iterdir()):
+            twin = tmp_path / "parallel" / "jobs" / shard.name
+            assert shard.read_bytes() == twin.read_bytes()
+
+    def test_matches_sequential_experiment_runner(self, tmp_path):
+        """A one-cell campaign reproduces ExperimentRunner bit for bit."""
+        from repro.core import ExperimentRunner
+
+        spec = tiny_spec(tmp_path, servers=["vanilla"],
+                         environments=["aws-t3.large"])
+        campaign = CampaignExecutor(spec, jobs=1).run()
+        runner_result = ExperimentRunner(
+            spec.cell_config(spec.cells()[0])
+        ).run()
+        assert campaign.iterations == runner_result.iterations
+
+    def test_resume_skips_completed_shards(self, tmp_path, monkeypatch):
+        spec = tiny_spec(tmp_path)
+        plan = JobPlanner(spec).plan()
+        executor = CampaignExecutor(spec, jobs=1)
+        executor.run()
+        store = JobStore(spec.output_dir)
+        assert store.completed_ids() == {job.job_id for job in plan}
+        # Drop two shards to simulate a kill, then count re-executions.
+        killed = [plan[1], plan[3]]
+        for job in killed:
+            store.shard_path(job.job_id).unlink()
+        executed = []
+        real_execute = executor_module.execute_job
+
+        def counting_execute(payload):
+            executed.append(payload["job"]["job_id"])
+            return real_execute(payload)
+
+        monkeypatch.setattr(
+            executor_module, "execute_job", counting_execute
+        )
+        resumed = CampaignExecutor(spec, jobs=1).run(resume=True)
+        assert sorted(executed) == sorted(job.job_id for job in killed)
+        assert len(resumed.iterations) == len(plan) * spec.iterations
+
+    def test_resume_refuses_edited_spec(self, tmp_path):
+        spec = tiny_spec(tmp_path)
+        CampaignExecutor(spec, jobs=1).run()
+        JobStore(spec.output_dir).shard_path(
+            JobPlanner(spec).plan()[0].job_id
+        ).unlink()
+        edited = tiny_spec(tmp_path, duration_s=3.0)
+        with pytest.raises(ValueError, match="duration_s"):
+            CampaignExecutor(edited, jobs=1).run(resume=True)
+        # Execution knobs may change freely between run and resume.
+        relocated = tiny_spec(tmp_path, jobs=4)
+        CampaignExecutor(relocated, jobs=1).run(resume=True)
+
+    def test_fresh_run_refuses_populated_store(self, tmp_path):
+        spec = tiny_spec(tmp_path)
+        CampaignExecutor(spec, jobs=1).run()
+        with pytest.raises(FileExistsError):
+            CampaignExecutor(spec, jobs=1).run()
+
+    def test_foreign_shards_rejected(self, tmp_path):
+        spec = tiny_spec(tmp_path)
+        store = JobStore(spec.output_dir)
+        store.shard_dir.mkdir(parents=True)
+        (store.shard_dir / "deadbeef.json").write_text(
+            json.dumps({"job": {}, "iterations": []})
+        )
+        with pytest.raises(ValueError, match="different campaign"):
+            CampaignExecutor(spec, jobs=1).run(resume=True)
+
+    def test_progress_callback_counts_all_jobs(self, tmp_path):
+        spec = tiny_spec(tmp_path)
+        seen = []
+        CampaignExecutor(
+            spec, jobs=1, progress=lambda job, done, total: seen.append(
+                (job.job_id, done, total)
+            )
+        ).run()
+        assert [entry[1] for entry in seen] == [1, 2, 3, 4]
+        assert all(entry[2] == 4 for entry in seen)
