@@ -1,0 +1,63 @@
+"""Streaming telemetry demo: long runs in O(1) memory, live statistics.
+
+Runs one iteration with ``retain_raw=False`` — no per-tick lists are
+kept anywhere — and prints the streaming statistics that replace them:
+exact moments and ISR, sketched quantiles, per-window CoV, and the
+warmup→steady-state boundary.
+
+Usage::
+
+    python examples/telemetry_stream.py [workload] [server] [env] [secs]
+"""
+
+import sys
+
+from repro.core import run_iteration
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "farm"
+    server = sys.argv[2] if len(sys.argv) > 2 else "vanilla"
+    environment = sys.argv[3] if len(sys.argv) > 3 else "aws-t3.large"
+    duration_s = float(sys.argv[4]) if len(sys.argv) > 4 else 120.0
+
+    result = run_iteration(
+        workload,
+        server,
+        environment,
+        duration_s=duration_s,
+        seed=42,
+        retain_raw=False,
+    )
+    assert result.tick_durations_ms == []  # nothing retained...
+    tick = result.telemetry["tick"]
+    snap = tick["tick_ms"]
+    windows = tick["windows"]
+
+    print(f"{workload}/{server} on {environment}, {duration_s:.0f}s:")
+    print(f"  ticks observed   {tick['ticks']}")
+    print(f"  isr (streaming)  {tick['isr']:.4f}")
+    print(
+        "  tick_ms          "
+        f"mean={snap['mean']:.2f} std={snap['std']:.2f} cov={snap['cov']:.3f}"
+    )
+    print(
+        "  quantiles        "
+        f"p50={snap['p50']:.1f} p95={snap['p95']:.1f} p99={snap['p99']:.1f}"
+    )
+    print(f"  >50ms ticks      {100 * snap['frac_over_budget']:.1f}%")
+    if windows["steady"]:
+        print(
+            f"  steady state     after {windows['warmup_samples']} ticks "
+            f"(window {windows['steady_since_window']})"
+        )
+    else:
+        print(f"  steady state     not reached in {windows['n_windows']} windows")
+    covs = windows["recent_covs"]
+    if covs:
+        print(f"  window CoV tail  {' '.join(f'{c:.2f}' for c in covs[-8:])}")
+    print(f"  recent ticks     {[round(t, 1) for t in snap['tail'][-10:]]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -145,15 +145,46 @@ def _cmd_run(args: argparse.Namespace, resume: bool) -> int:
     return 0
 
 
+def _telemetry_columns(entry: dict, iterations: int) -> list[str]:
+    """Live columns for one job: iterations, p50/p99/CoV, warmup state.
+
+    Read from the job's streamed JSONL sidecar, so they update while the
+    job is still running (``status`` on a live campaign).
+    """
+    live = entry.get("telemetry") or {}
+    tick = (live.get("telemetry") or {}).get("tick") or {}
+    snap = tick.get("tick_ms") or {}
+    windows = tick.get("windows") or {}
+    if not snap:
+        return [f"0/{iterations}", "-", "-", "-", "-"]
+    phase = "steady" if windows.get("steady") else "warmup"
+    return [
+        f"{entry.get('iterations_done', 0)}/{iterations}",
+        f"{snap['p50']:.1f}",
+        f"{snap['p99']:.1f}",
+        f"{snap['cov']:.3f}",
+        phase,
+    ]
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
     spec = _load_spec(args.target)
     store = JobStore(spec.output_dir)
     status = store.status()
+    # Per-cell iteration counts: `iterations` is overridable per cell.
+    iterations_by_id = {
+        job.job_id: spec.cell_config(job.cell).iterations
+        for job in store.manifest_jobs()
+    }
     rows = [
         [
             entry["job_id"],
             *entry["cell"].split("|"),
-            "done" if entry["done"] else "pending",
+            entry["state"],
+            *_telemetry_columns(
+                entry,
+                iterations_by_id.get(entry["job_id"], spec.iterations),
+            ),
         ]
         for entry in status["jobs"]
     ]
@@ -166,10 +197,18 @@ def _cmd_status(args: argparse.Namespace) -> int:
         "bots",
         "behavior",
         "status",
+        "iters",
+        "p50ms",
+        "p99ms",
+        "cov",
+        "phase",
     )
     print(f"Campaign {spec.name!r} in {store.root}")
     print(format_table(headers, rows))
-    print(f"{status['completed']}/{status['total']} jobs complete")
+    parts = [f"{status['completed']}/{status['total']} jobs complete"]
+    if status.get("running"):
+        parts.append(f"{status['running']} running")
+    print(", ".join(parts))
     return 0
 
 

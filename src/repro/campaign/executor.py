@@ -12,16 +12,18 @@ campaign resumable.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 from collections.abc import Callable
+from pathlib import Path
 
 from repro.core.experiment import run_server_chain
-from repro.core.results import ExperimentResult
+from repro.core.results import ExperimentResult, IterationResult
 from repro.campaign.planner import Job, JobPlanner
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import JobStore
 
-__all__ = ["CampaignExecutor", "execute_job"]
+__all__ = ["CampaignExecutor", "execute_job", "telemetry_line"]
 
 #: Progress callback: (job, n_done, n_total).
 ProgressFn = Callable[[Job, int, int], None]
@@ -51,16 +53,72 @@ def _ensure_spec_unchanged(recorded: dict, current: dict, root) -> None:
         )
 
 
+def _strip_tails(snapshot) -> object:
+    """Deep-copy a telemetry snapshot without its ring-buffer tails.
+
+    Sidecar lines are read repeatedly by ``status`` while a campaign
+    runs; dropping the recent-tail arrays keeps them to a few hundred
+    bytes per iteration without losing any summary statistic.
+    """
+    if isinstance(snapshot, dict):
+        return {
+            key: _strip_tails(value)
+            for key, value in snapshot.items()
+            if key != "tail"
+        }
+    return snapshot
+
+
+def telemetry_line(job: Job, it: IterationResult) -> str:
+    """One JSONL sidecar line for a finished iteration.
+
+    ``sort_keys`` keeps the byte stream deterministic, so serial and
+    parallel campaign runs produce bit-identical telemetry shards.
+    """
+    return json.dumps(
+        {
+            "job_id": job.job_id,
+            "cell": job.cell.key(),
+            "iteration": it.iteration,
+            "seed": it.seed,
+            "crashed": it.crashed,
+            "isr": it.isr,
+            "telemetry": _strip_tails(it.telemetry),
+        },
+        sort_keys=True,
+    )
+
+
 def execute_job(payload: dict) -> tuple[dict, list[dict]]:
     """Run one job's server chain; the unit shipped to worker processes.
 
     Takes and returns plain JSON-able dicts so the same function serves
     the serial path, ``multiprocessing`` pickling, and shard files.
+
+    When the payload carries a ``telemetry_dir``, the worker streams one
+    JSONL line per finished iteration into
+    ``<telemetry_dir>/<job_id>.jsonl`` (truncating any sidecar left by a
+    previous attempt), which is what makes in-flight jobs observable via
+    ``python -m repro status``.
     """
     spec = CampaignSpec.from_dict(payload["spec"])
     job = Job.from_dict(payload["job"])
     config = JobPlanner(spec).job_config(job)
-    iterations = run_server_chain(config, job.server)
+    telemetry_dir = payload.get("telemetry_dir")
+    if telemetry_dir is None:
+        iterations = run_server_chain(config, job.server)
+    else:
+        path = Path(telemetry_dir) / f"{job.job_id}.jsonl"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w") as sidecar:
+
+            def stream(it: IterationResult) -> None:
+                sidecar.write(telemetry_line(job, it) + "\n")
+                sidecar.flush()
+
+            iterations = run_server_chain(
+                config, job.server, on_iteration=stream
+            )
     return payload["job"], [it.to_dict() for it in iterations]
 
 
@@ -93,8 +151,16 @@ class CampaignExecutor:
         if resume:
             manifest = self.store.read_manifest()
             if manifest is not None:
+                recorded = manifest["spec"]
+                try:
+                    # Normalize older manifests: fields added to the spec
+                    # since (e.g. retain_raw) pick up their defaults
+                    # instead of reading as spurious changes.
+                    recorded = CampaignSpec.from_dict(recorded).to_dict()
+                except (TypeError, ValueError):
+                    pass
                 _ensure_spec_unchanged(
-                    manifest["spec"], self.spec.to_dict(), self.store.root
+                    recorded, self.spec.to_dict(), self.store.root
                 )
         completed = self.store.completed_ids()
         stale = completed - {job.job_id for job in plan}
@@ -113,7 +179,11 @@ class CampaignExecutor:
         n_total = len(plan)
         n_done = n_total - len(pending)
         payloads = [
-            {"spec": self.spec.to_dict(), "job": job.to_dict()}
+            {
+                "spec": self.spec.to_dict(),
+                "job": job.to_dict(),
+                "telemetry_dir": str(self.store.telemetry_dir),
+            }
             for job in pending
         ]
         if self.jobs > 1 and len(pending) > 1:

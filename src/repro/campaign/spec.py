@@ -47,6 +47,7 @@ _OVERRIDABLE_FIELDS = frozenset(
         "warm_machines",
         "inter_iteration_gap_s",
         "ram_gb",
+        "retain_raw",
     }
 )
 
@@ -101,6 +102,9 @@ class CampaignSpec:
     seed: int = 0
     inter_iteration_gap_s: float = 20.0
     warm_machines: bool = False
+    #: Keep raw per-tick series in shards (figure pipeline); ``False``
+    #: streams bounded-memory telemetry only.
+    retain_raw: bool = True
 
     output_dir: str = "meterstick-out"
     #: Default worker-process count for the executor (CLI ``--jobs`` wins).
@@ -212,6 +216,7 @@ class CampaignSpec:
             seed=self.seed,
             inter_iteration_gap_s=self.inter_iteration_gap_s,
             warm_machines=self.warm_machines,
+            retain_raw=self.retain_raw,
             output_dir=self.output_dir,
         )
         for override in self.overrides:

@@ -3,12 +3,20 @@
 Layout, under the campaign's ``output_dir``::
 
     output_dir/
-      manifest.json        the spec and the planned job list
-      jobs/<job_id>.json   one shard per *completed* job
+      manifest.json             the spec and the planned job list
+      jobs/<job_id>.json        one shard per *completed* job
+      telemetry/<job_id>.jsonl  streaming sidecar: one line per finished
+                                iteration, written while the job runs
 
 Shards are written atomically (temp file + ``os.replace``), so a campaign
 killed mid-run leaves either a complete shard or none — never a torn one.
 ``resume`` is then just "skip every job that already has a shard".
+
+Telemetry sidecars are different on purpose: they are *streamed* (append
++ flush per iteration) so ``python -m repro status`` can show live
+p50/p99/CoV and steady-state progress for in-flight jobs.  A torn final
+line (the process died mid-write) is simply skipped on read, and a job
+that re-runs after a crash truncates its own sidecar first.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ __all__ = ["JobStore"]
 
 MANIFEST_NAME = "manifest.json"
 SHARD_DIR = "jobs"
+TELEMETRY_DIR = "telemetry"
 
 
 def _iteration_from_dict(raw: dict) -> IterationResult:
@@ -49,6 +58,13 @@ class JobStore:
 
     def shard_path(self, job_id: str) -> Path:
         return self.shard_dir / f"{job_id}.json"
+
+    @property
+    def telemetry_dir(self) -> Path:
+        return self.root / TELEMETRY_DIR
+
+    def telemetry_path(self, job_id: str) -> Path:
+        return self.telemetry_dir / f"{job_id}.jsonl"
 
     # -- manifest -----------------------------------------------------------
 
@@ -116,6 +132,60 @@ class JobStore:
             return set()
         return {path.stem for path in self.shard_dir.glob("*.json")}
 
+    # -- telemetry sidecars -------------------------------------------------
+
+    def read_job_telemetry(self, job_id: str) -> list[dict]:
+        """Per-iteration telemetry lines streamed by a (possibly still
+        running) job, oldest first.  A torn trailing line is skipped."""
+        path = self.telemetry_path(job_id)
+        if not path.exists():
+            return []
+        lines: list[dict] = []
+        for raw in path.read_text().splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                lines.append(json.loads(raw))
+            except json.JSONDecodeError:
+                continue  # torn write from a killed worker
+        return lines
+
+    #: How many trailing sidecar bytes ``status`` reads per job — enough
+    #: for several iteration lines.
+    _TAIL_BYTES = 65536
+
+    def tail_job_telemetry(self, job_id: str) -> tuple[int, dict | None]:
+        """``(iterations_done, latest_line)`` for one job's sidecar.
+
+        Reads only the file's tail and parses only the most recent
+        intact line — ``status`` polls every job's sidecar on every
+        invocation, so the cost must stay O(jobs), not O(file bytes).
+        The iteration count comes from the latest line's own
+        ``iteration`` field (lines stream in order), not from counting
+        lines.
+        """
+        path = self.telemetry_path(job_id)
+        try:
+            with path.open("rb") as sidecar:
+                sidecar.seek(0, os.SEEK_END)
+                size = sidecar.tell()
+                sidecar.seek(max(0, size - self._TAIL_BYTES))
+                block = sidecar.read().decode(errors="replace")
+        except FileNotFoundError:
+            return 0, None
+        complete, sep, _torn = block.rpartition("\n")
+        if not sep:
+            return 0, None
+        lines = [line for line in complete.splitlines() if line.strip()]
+        for raw in reversed(lines):
+            try:
+                latest = json.loads(raw)
+            except json.JSONDecodeError:
+                continue  # torn or corrupt line from a killed worker
+            return int(latest.get("iteration", len(lines) - 1)) + 1, latest
+        return 0, None
+
     # -- aggregation --------------------------------------------------------
 
     def merge(self, jobs: list[Job] | None = None) -> ExperimentResult:
@@ -139,21 +209,41 @@ class JobStore:
         return result
 
     def status(self) -> dict:
-        """Per-job completion map plus aggregate counts."""
+        """Per-job completion map plus aggregate counts and live telemetry.
+
+        A job with streamed telemetry but no shard yet is *running* (or
+        was killed mid-chain); its entry carries the latest iteration's
+        telemetry line so live campaigns are observable before any job
+        completes.
+        """
         jobs = self.manifest_jobs()
         done = self.completed_ids()
+        entries = []
+        for job in sorted(jobs, key=lambda j: j.index):
+            n_iterations, latest = self.tail_job_telemetry(job.job_id)
+            is_done = job.job_id in done
+            entries.append(
+                {
+                    "job_id": job.job_id,
+                    "cell": job.cell.key(),
+                    "done": is_done,
+                    "state": (
+                        "done"
+                        if is_done
+                        else ("running" if latest else "pending")
+                    ),
+                    "iterations_done": n_iterations,
+                    "telemetry": latest,
+                }
+            )
         return {
             "total": len(jobs),
             "completed": sum(1 for job in jobs if job.job_id in done),
             "pending": sum(1 for job in jobs if job.job_id not in done),
-            "jobs": [
-                {
-                    "job_id": job.job_id,
-                    "cell": job.cell.key(),
-                    "done": job.job_id in done,
-                }
-                for job in sorted(jobs, key=lambda j: j.index)
-            ],
+            "running": sum(
+                1 for entry in entries if entry["state"] == "running"
+            ),
+            "jobs": entries,
         }
 
     # -- internals ----------------------------------------------------------

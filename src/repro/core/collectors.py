@@ -6,14 +6,22 @@ the tick-time distribution across workload operations.  The **System
 Metrics Collector** samples OS-level metrics twice per second of simulated
 time: CPU, memory (with a JVM-ish GC sawtooth), threads, disk I/O, and
 network I/O.
+
+Both collectors now ride the streaming telemetry layer
+(:mod:`repro.telemetry`): the externalizer's Fig. 11 distribution comes
+from bucket totals the game loop folds once per tick (instead of
+re-walking every ``TickRecord`` per call), and the system collector keeps
+per-metric accumulators so its summary needs O(1) memory.  The raw
+``samples`` list is only retained when the server runs with
+``retain_raw=True`` (the default, and what the figure pipeline uses).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.mlg.constants import TICK_BUDGET_US
 from repro.mlg.server import MLGServer
+from repro.telemetry.accumulators import MetricAccumulator
 
 __all__ = [
     "MetricExternalizer",
@@ -53,7 +61,7 @@ class MetricExternalizer:
         self.server = server
 
     def tick_durations_ms(self) -> list[float]:
-        return [r.duration_ms for r in self.server.tick_records]
+        return self.server.tick_durations_ms()
 
     def tick_distribution(self) -> TickDistribution:
         """Aggregate tick-time shares across the whole run.
@@ -62,15 +70,14 @@ class MetricExternalizer:
         measured idle time after fast ticks, and ``Wait Before`` is the
         input-poll segment at the head of the tick (a fixed slice of the
         tick overhead, as in the paper's instrumentation).
+
+        The totals are folded once per tick by the server's telemetry
+        tap, so this is O(buckets) per call however long the run is.
         """
-        totals: dict[str, float] = {}
-        wait_after = 0.0
-        wall = 0.0
-        for record in self.server.tick_records:
-            for bucket, us in record.breakdown_us.items():
-                totals[bucket] = totals.get(bucket, 0.0) + us
-            wait_after += record.wait_us
-            wall += record.duration_us + record.wait_us
+        telemetry = self.server.telemetry
+        totals = dict(telemetry.bucket_totals_us)
+        wait_after = telemetry.wait_after_us
+        wall = telemetry.wall_us
         if wall <= 0:
             return TickDistribution({})
         # The work breakdown is in simulated CPU µs; rescale it onto the
@@ -104,31 +111,48 @@ class SystemSample:
 
 
 class SystemMetricsCollector:
-    """Samples system metrics at 2 Hz of simulated time."""
+    """Samples system metrics at 2 Hz of simulated time.
 
-    def __init__(self, server: MLGServer) -> None:
+    Summaries come from streaming accumulators; the raw ``samples`` list
+    is kept only when ``retain_raw`` is on (defaulting to the server's
+    own ``retain_raw`` flag), so long runs do not grow collector memory.
+    """
+
+    def __init__(self, server: MLGServer, retain_raw: bool | None = None) -> None:
         self.server = server
+        self.retain_raw = (
+            server.retain_raw if retain_raw is None else retain_raw
+        )
         self.samples: list[SystemSample] = []
         self._next_sample_us = server.clock.now_us
         self._last_cpu_used = 0.0
         self._last_wall = 0.0
         self._gc_phase = 0.0
+        self._count = 0
+        self._cpu = MetricAccumulator("cpu_utilization", tail_size=128)
+        self._memory = MetricAccumulator("memory_bytes", tail_size=128)
+        self._last_sample: SystemSample | None = None
 
     def maybe_sample(self) -> int:
         """Take all due samples; returns how many were taken.
 
         Call after every tick; catch-up sampling during long ticks emits
         the backlog, like a real collector polling on its own thread.
+        The machine's cumulative CPU/wall counters only advance at tick
+        granularity, so a backlog is attributed uniformly: every catch-up
+        sample gets the window-average utilization (previously the first
+        sample absorbed the entire delta and the rest read 0).
         """
-        taken = 0
         now = self.server.clock.now_us
+        due: list[int] = []
         while self._next_sample_us <= now:
-            self._take(self._next_sample_us)
+            due.append(self._next_sample_us)
             self._next_sample_us += SAMPLE_INTERVAL_US
-            taken += 1
-        return taken
+        if due:
+            self._take_batch(due)
+        return len(due)
 
-    def _take(self, t_us: int) -> None:
+    def _take_batch(self, due: list[int]) -> None:
         server = self.server
         machine = server.machine
         cpu_used = machine.cpu_used_us
@@ -142,38 +166,54 @@ class SystemMetricsCollector:
             )
         self._last_cpu_used = cpu_used
         self._last_wall = wall
-        # JVM heap sawtooth: allocation climbs, young-GC drops it back.
-        self._gc_phase = (self._gc_phase + 0.13) % 1.0
-        heap_jitter = int(120e6 * self._gc_phase)
         stats = server.net.stats
-        self.samples.append(
-            SystemSample(
-                t_us=t_us,
-                cpu_utilization=utilization,
-                memory_bytes=server.memory_bytes() + heap_jitter,
-                threads=server.thread_count,
-                disk_read_bytes=server.disk_bytes_read,
-                disk_write_bytes=server.disk_bytes_written,
-                net_sent_bytes=stats.total_bytes,
-                net_recv_bytes=server.net.bytes_in_total,
+        for t_us in due:
+            # JVM heap sawtooth: allocation climbs, young-GC drops it back.
+            self._gc_phase = (self._gc_phase + 0.13) % 1.0
+            heap_jitter = int(120e6 * self._gc_phase)
+            self._observe(
+                SystemSample(
+                    t_us=t_us,
+                    cpu_utilization=utilization,
+                    memory_bytes=server.memory_bytes() + heap_jitter,
+                    threads=server.thread_count,
+                    disk_read_bytes=server.disk_bytes_read,
+                    disk_write_bytes=server.disk_bytes_written,
+                    net_sent_bytes=stats.total_bytes,
+                    net_recv_bytes=server.net.bytes_in_total,
+                )
             )
-        )
+
+    def _observe(self, sample: SystemSample) -> None:
+        self._count += 1
+        self._cpu.update(sample.cpu_utilization)
+        self._memory.update(sample.memory_bytes)
+        self._last_sample = sample
+        if self.retain_raw:
+            self.samples.append(sample)
 
     # -- summaries ---------------------------------------------------------------
 
     def summary(self) -> dict[str, float]:
-        if not self.samples:
+        if self._count == 0:
             return {}
-        cpu = [s.cpu_utilization for s in self.samples]
-        mem = [s.memory_bytes for s in self.samples]
+        last = self._last_sample
         return {
-            "cpu_mean": sum(cpu) / len(cpu),
-            "cpu_max": max(cpu),
-            "memory_mean_mb": sum(mem) / len(mem) / 1e6,
-            "memory_max_mb": max(mem) / 1e6,
-            "threads": float(self.samples[-1].threads),
-            "disk_write_bytes": float(self.samples[-1].disk_write_bytes),
-            "net_sent_bytes": float(self.samples[-1].net_sent_bytes),
-            "net_recv_bytes": float(self.samples[-1].net_recv_bytes),
-            "samples": float(len(self.samples)),
+            "cpu_mean": self._cpu.mean,
+            "cpu_max": self._cpu.maximum,
+            "memory_mean_mb": self._memory.mean / 1e6,
+            "memory_max_mb": self._memory.maximum / 1e6,
+            "threads": float(last.threads),
+            "disk_write_bytes": float(last.disk_write_bytes),
+            "net_sent_bytes": float(last.net_sent_bytes),
+            "net_recv_bytes": float(last.net_recv_bytes),
+            "samples": float(self._count),
+        }
+
+    def snapshot(self, include_tails: bool = False) -> dict:
+        """Streaming per-metric snapshot (for telemetry sidecars)."""
+        return {
+            "samples": self._count,
+            "cpu_utilization": self._cpu.snapshot(include_tail=include_tails),
+            "memory_bytes": self._memory.snapshot(include_tail=include_tails),
         }

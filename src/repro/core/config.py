@@ -74,6 +74,10 @@ class MeterstickConfig:
     inter_iteration_gap_s: float = 20.0
     #: Start cloud machines with drained burst credits (warm VMs).
     warm_machines: bool = False
+    #: Keep raw per-tick/per-sample lists (the figure pipeline needs
+    #: them).  ``False`` runs with O(1) telemetry memory per metric —
+    #: summaries and sidecar telemetry are streamed either way.
+    retain_raw: bool = True
 
     def __post_init__(self) -> None:
         self.validate()

@@ -11,6 +11,8 @@ which burstable credits accrue.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+
 import numpy as np
 
 from repro.cloud.providers import get_environment
@@ -23,6 +25,9 @@ from repro.simtime import SimClock, s_to_us
 from repro.workloads import get_workload
 
 __all__ = ["ExperimentRunner", "run_iteration", "run_server_chain"]
+
+#: Per-iteration streaming callback for live campaign observability.
+IterationFn = Callable[[IterationResult], None]
 
 
 def run_iteration(
@@ -37,11 +42,16 @@ def run_iteration(
     machine=None,
     clock: SimClock | None = None,
     iteration: int = 0,
+    retain_raw: bool = True,
 ) -> IterationResult:
     """Run one iteration and return its measurements.
 
     ``machine``/``clock`` may be passed in to persist node state across
-    iterations; fresh ones are created when omitted.
+    iterations; fresh ones are created when omitted.  With
+    ``retain_raw=False`` the raw per-tick and per-sample series are
+    dropped as they stream through the telemetry layer: the result then
+    carries only the O(1) telemetry snapshot (exact counts, moments,
+    exceedance fractions, sketched quantiles, and the recent tail).
     """
     env = get_environment(environment_name)
     if machine is None:
@@ -56,7 +66,12 @@ def run_iteration(
     workload = get_workload(workload_name, scale=scale, **workload_kwargs)
     world = workload.create_world(seed)
     server = MLGServer(
-        server_name, machine, world=world, clock=clock, seed=seed
+        server_name,
+        machine,
+        world=world,
+        clock=clock,
+        seed=seed,
+        retain_raw=retain_raw,
     )
     rng = np.random.default_rng(seed ^ 0x5EED)
     swarm = BotSwarm(server, env.network, rng)
@@ -77,6 +92,16 @@ def run_iteration(
 
     stats = server.net.stats
     n_share, b_share = stats.entity_share()
+    # Bots streamed every probe through the tap as it completed; the raw
+    # per-bot lists exist only when the server retained them.
+    response_times = swarm.response_times_ms()
+    telemetry = {
+        "tick": server.telemetry.snapshot(include_tails=True),
+        "system": system.snapshot(),
+        "response_ms": server.telemetry.response_ms.snapshot(
+            include_tail=False
+        ),
+    }
     return IterationResult(
         server=server_name,
         workload=workload_name,
@@ -84,8 +109,8 @@ def run_iteration(
         iteration=iteration,
         seed=seed,
         duration_s=duration_s,
-        tick_durations_ms=externalizer.tick_durations_ms(),
-        response_times_ms=swarm.response_times_ms(),
+        tick_durations_ms=externalizer.tick_durations_ms() if retain_raw else [],
+        response_times_ms=response_times,
         tick_distribution=externalizer.tick_distribution().shares,
         packet_counts=dict(stats.counts),
         packet_bytes=dict(stats.bytes_),
@@ -99,11 +124,14 @@ def run_iteration(
         scale=scale,
         n_bots=n_bots,
         behavior=behavior,
+        telemetry=telemetry,
     )
 
 
 def run_server_chain(
-    config: MeterstickConfig, server_name: str
+    config: MeterstickConfig,
+    server_name: str,
+    on_iteration: IterationFn | None = None,
 ) -> list[IterationResult]:
     """Run every iteration of one server on one persistent machine.
 
@@ -111,6 +139,10 @@ def run_server_chain(
     reuses nodes), so they must stay ordered; distinct chains are
     independent and may run concurrently — this is the unit of work the
     campaign executor distributes across processes.
+
+    ``on_iteration`` is called with each :class:`IterationResult` as soon
+    as it finishes — the hook the campaign executor uses to stream
+    per-iteration telemetry to disk while the chain is still running.
     """
     env = get_environment(config.environment)
     machine = env.create_machine(seed=config.iteration_seed(server_name, -1))
@@ -135,11 +167,14 @@ def run_server_chain(
             machine=machine,
             clock=clock,
             iteration=iteration,
+            retain_raw=config.retain_raw,
         )
         iteration_result.throttled_ticks = (
             machine.throttled_executions - throttled_before
         )
         iterations.append(iteration_result)
+        if on_iteration is not None:
+            on_iteration(iteration_result)
         # Teardown/setup gap: the node idles, credits accrue.
         clock.advance(s_to_us(config.inter_iteration_gap_s))
     return iterations

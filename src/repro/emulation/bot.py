@@ -53,7 +53,9 @@ class EmulatedPlayer:
         self._next_probe_id = 1
         #: probe_id -> send timestamp (µs).
         self._pending_probes: dict[int, int] = {}
-        #: Completed probe response times, in milliseconds.
+        #: Completed probe response times, in milliseconds.  Every sample
+        #: also streams through the server telemetry bus; this raw list
+        #: is only kept when the server retains raw series.
         self.response_times_ms: list[float] = []
         self._deliveries_seen = 0
         # Real clients chat during the join sequence; the first probe goes
@@ -88,9 +90,10 @@ class EmulatedPlayer:
                 continue
             sent_at = self._pending_probes.pop(probe_id, None)
             if sent_at is not None:
-                self.response_times_ms.append(
-                    (delivery.delivered_at_us - sent_at) / 1000.0
-                )
+                response_ms = (delivery.delivered_at_us - sent_at) / 1000.0
+                self.server.telemetry.observe_response(response_ms)
+                if self.server.retain_raw:
+                    self.response_times_ms.append(response_ms)
         self._deliveries_seen = len(deliveries)
 
     def _maybe_move(self, now_us: int) -> None:

@@ -62,6 +62,9 @@ class GameLoop:
         self.server = server
         self.tick_index = 0
         self.records: list[TickRecord] = []
+        #: Most recent tick's record — always available (feedback-driven
+        #: workloads read it), even when ``retain_raw`` drops the list.
+        self.last_record: TickRecord | None = None
         self._last_time_update_us = 0
 
     # -- the tick ------------------------------------------------------------------
@@ -155,7 +158,12 @@ class GameLoop:
             clients=server.net.connected_count,
             entities=server.entities.count(),
         )
-        self.records.append(record)
+        # The tick tap folds the record into streaming telemetry; the raw
+        # list is only kept for the figure pipeline (retain_raw).
+        server.telemetry.observe_tick(record)
+        self.last_record = record
+        if server.retain_raw:
+            self.records.append(record)
         self.tick_index += 1
         return record
 

@@ -13,7 +13,7 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.mlg.chat import ChatSystem
-from repro.mlg.constants import DEFAULT_VIEW_DISTANCE
+from repro.mlg.constants import DEFAULT_VIEW_DISTANCE, TICK_BUDGET_US
 from repro.mlg.entity_manager import EntityManager
 from repro.mlg.fluids import FluidEngine
 from repro.mlg.gameloop import GameLoop, TickRecord
@@ -29,6 +29,7 @@ from repro.mlg.variants import VariantProfile, get_variant
 from repro.mlg.workreport import WorkReport
 from repro.mlg.world import World
 from repro.simtime import SimClock, s_to_us
+from repro.telemetry.tap import ServerTelemetry
 
 __all__ = ["MLGServer"]
 
@@ -49,6 +50,8 @@ class MLGServer:
         world: World | None = None,
         clock: SimClock | None = None,
         seed: int = 0,
+        retain_raw: bool = True,
+        telemetry_window: int = 100,
     ) -> None:
         self.variant = (
             get_variant(variant) if isinstance(variant, str) else variant
@@ -57,6 +60,13 @@ class MLGServer:
         self.clock = clock if clock is not None else SimClock()
         self.rng = np.random.default_rng(seed)
         self.world = world if world is not None else World()
+        #: Keep the raw per-tick record list (the figure pipeline needs
+        #: it); ``False`` runs with O(1) telemetry memory per metric.
+        self.retain_raw = retain_raw
+        #: Streaming per-tick telemetry; the game loop is its producer.
+        self.telemetry = ServerTelemetry(
+            TICK_BUDGET_US, window_size=telemetry_window
+        )
 
         self.lights = LightEngine(self.world)
         self.fluids = FluidEngine(self.world)
@@ -213,9 +223,23 @@ class MLGServer:
 
     @property
     def tick_records(self) -> list[TickRecord]:
+        """Raw per-tick records (empty when ``retain_raw`` is off)."""
         return self.loop.records
 
     def tick_durations_ms(self) -> list[float]:
+        """Raw tick-duration series for the figure pipeline.
+
+        Raises on a ``retain_raw=False`` server rather than silently
+        returning a truncated series: summary statistics should come
+        from ``self.telemetry`` (streaming, exact counts/moments/
+        exceedance) and the recent tail from its ring buffer.
+        """
+        if not self.retain_raw:
+            raise ValueError(
+                "raw tick durations were not retained (retain_raw=False); "
+                "use server.telemetry for streaming statistics or "
+                "server.telemetry.tick_ms.tail for the recent tail"
+            )
         return [r.duration_ms for r in self.loop.records]
 
     def memory_bytes(self) -> int:
@@ -234,7 +258,5 @@ class MLGServer:
 
     @property
     def overloaded_fraction(self) -> float:
-        records = self.loop.records
-        if not records:
-            return 0.0
-        return sum(1 for r in records if r.overloaded) / len(records)
+        """Fraction of >50 ms ticks, from the streaming tick counters."""
+        return self.telemetry.overloaded_fraction

@@ -1,0 +1,169 @@
+"""Windowed variability: per-window CoV and the warmup→steady boundary.
+
+Variability conclusions depend on *where* in a run you look: the first
+windows of a Meterstick iteration are dominated by chunk loading and bot
+connects, and pooling them with steady state inflates every dispersion
+metric (compare Fig. 9's connect-time spike against its flat tail).
+:class:`WindowedSeries` slices a stream into fixed-size windows, keeps
+each window's mean/std/CoV, and applies a simple online change-point
+rule to find the first window where the level stops drifting — the
+warmup→steady-state boundary.
+
+The rule (a streaming rendition of the relative-drift heuristics used by
+benchmark-length studies): a window is *calm* when its mean moved less
+than ``rel_tol`` (relative) from the previous window's mean; the series
+is declared steady at the first window that starts ``stable_windows``
+consecutive calm windows, and the boundary is sticky once found.  Memory
+is O(recent_windows) regardless of stream length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.telemetry.accumulators import WelfordAccumulator
+
+__all__ = ["WindowSummary", "WindowedSeries"]
+
+
+@dataclass(frozen=True)
+class WindowSummary:
+    """Dispersion summary of one completed window."""
+
+    index: int
+    start: int
+    count: int
+    mean: float
+    std: float
+    cov: float
+    minimum: float
+    maximum: float
+
+    def to_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "start": self.start,
+            "count": self.count,
+            "mean": self.mean,
+            "std": self.std,
+            "cov": self.cov,
+            "min": self.minimum,
+            "max": self.maximum,
+        }
+
+
+class WindowedSeries:
+    """Fixed-size windows over a stream, with online steady-state detection."""
+
+    def __init__(
+        self,
+        window_size: int = 100,
+        rel_tol: float = 0.10,
+        stable_windows: int = 3,
+        recent_windows: int = 64,
+    ) -> None:
+        if window_size < 2:
+            raise ValueError(f"window_size must be >= 2, got {window_size!r}")
+        if rel_tol <= 0:
+            raise ValueError(f"rel_tol must be positive, got {rel_tol!r}")
+        if stable_windows < 1:
+            raise ValueError(
+                f"stable_windows must be >= 1, got {stable_windows!r}"
+            )
+        self.window_size = window_size
+        self.rel_tol = rel_tol
+        self.stable_windows = stable_windows
+        self.recent_windows = recent_windows
+        self.n_samples = 0
+        self.n_windows = 0
+        #: Most recent completed windows, oldest first (bounded).
+        self.recent: list[WindowSummary] = []
+        self._current = WelfordAccumulator()
+        self._current_min = float("inf")
+        self._current_max = float("-inf")
+        self._prev_mean: float | None = None
+        self._calm_run = 0
+        #: Window index where steady state began (sticky), or None.
+        self.steady_since_window: int | None = None
+
+    # -- streaming ----------------------------------------------------------
+
+    def update(self, value: float) -> None:
+        value = float(value)
+        self.n_samples += 1
+        self._current.update(value)
+        self._current_min = min(self._current_min, value)
+        self._current_max = max(self._current_max, value)
+        if self._current.count >= self.window_size:
+            self._close_window()
+
+    def _close_window(self) -> None:
+        acc = self._current
+        summary = WindowSummary(
+            index=self.n_windows,
+            start=self.n_samples - acc.count,
+            count=acc.count,
+            mean=acc.mean,
+            std=acc.std,
+            cov=acc.cov,
+            minimum=self._current_min,
+            maximum=self._current_max,
+        )
+        self.recent.append(summary)
+        if len(self.recent) > self.recent_windows:
+            del self.recent[0]
+        self.n_windows += 1
+        self._detect(summary)
+        self._current = WelfordAccumulator()
+        self._current_min = float("inf")
+        self._current_max = float("-inf")
+
+    def _detect(self, window: WindowSummary) -> None:
+        prev = self._prev_mean
+        self._prev_mean = window.mean
+        if prev is None:
+            return
+        scale = max(abs(prev), 1e-12)
+        calm = abs(window.mean - prev) <= self.rel_tol * scale
+        if calm:
+            self._calm_run += 1
+        else:
+            self._calm_run = 0
+        if (
+            self.steady_since_window is None
+            and self._calm_run >= self.stable_windows
+        ):
+            # The run began stable_windows windows ago; its first calm
+            # window is where steady state starts.
+            self.steady_since_window = window.index - self._calm_run + 1
+
+    # -- state --------------------------------------------------------------
+
+    @property
+    def steady(self) -> bool:
+        return self.steady_since_window is not None
+
+    @property
+    def warmup_samples(self) -> int | None:
+        """Samples before steady state (None until it is detected)."""
+        if self.steady_since_window is None:
+            return None
+        return self.steady_since_window * self.window_size
+
+    def window_covs(self) -> list[float]:
+        """CoV of each retained window, oldest first."""
+        return [w.cov for w in self.recent]
+
+    def snapshot(self) -> dict:
+        """JSON-able state for sidecar shards and live status views."""
+        last = self.recent[-1] if self.recent else None
+        return {
+            "window_size": self.window_size,
+            "n_samples": self.n_samples,
+            "n_windows": self.n_windows,
+            "steady": self.steady,
+            "steady_since_window": self.steady_since_window,
+            "warmup_samples": self.warmup_samples,
+            "last_window": last.to_dict() if last else None,
+            "recent_covs": [round(c, 6) for c in self.window_covs()],
+        }

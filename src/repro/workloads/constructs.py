@@ -282,10 +282,9 @@ class LagMachine:
     def feedback(
         self, server: MLGServer, tick_index: int, report: WorkReport
     ) -> None:
-        records = server.loop.records
-        if not records:
+        last = server.loop.last_record
+        if last is None:
             return
-        last = records[-1]
         per_clock_base = max(1, self.base_gates // max(1, len(self.clocks)))
         if last.duration_us > self.grace_us:
             self._calm_ticks = 0
