@@ -9,6 +9,7 @@ Artifacts (paper-vs-measured tables and series CSVs) are written to
 ``benchmarks/out/``.
 """
 
+import json
 import os
 from pathlib import Path
 
@@ -38,3 +39,50 @@ def write_artifact(name: str, text: str) -> Path:
     path.write_text(text)
     print(f"\n=== {name} ===\n{text}")
     return path
+
+
+# -- per-figure runtime deltas -------------------------------------------------
+#
+# Each session records wall time per benchmark test into
+# ``benchmarks/out/bench_runtimes.json`` and, when a previous run's
+# artifact exists (restored by the CI cache, or simply left over from the
+# last local run), prints a delta table — so entity-kernel speedups (and
+# regressions) are visible straight in PR logs.
+
+RUNTIMES_PATH = OUT_DIR / "bench_runtimes.json"
+
+_durations: dict[str, float] = {}
+
+
+def pytest_runtest_logreport(report):
+    if report.when == "call" and report.passed:
+        _durations[report.nodeid.split("::")[0]] = (
+            _durations.get(report.nodeid.split("::")[0], 0.0) + report.duration
+        )
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _durations:
+        return
+    previous = {}
+    if RUNTIMES_PATH.exists():
+        try:
+            previous = json.loads(RUNTIMES_PATH.read_text())
+        except (OSError, ValueError):
+            previous = {}
+    write = terminalreporter.write_line
+    terminalreporter.section("benchmark runtime delta (fast mode)")
+    if not previous:
+        write("no previous bench_runtimes.json artifact; baseline recorded")
+    for name in sorted(_durations):
+        current = _durations[name]
+        prev = previous.get(name)
+        if prev:
+            delta = 100.0 * (current - prev) / prev
+            write(f"{name:<55} {current:7.2f}s  prev {prev:7.2f}s  {delta:+6.1f}%")
+        else:
+            write(f"{name:<55} {current:7.2f}s  prev     n/a")
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    RUNTIMES_PATH.write_text(
+        json.dumps(_durations, indent=2, sort_keys=True) + "\n"
+    )

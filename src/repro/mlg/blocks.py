@@ -9,7 +9,17 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["Block", "BlockSpec", "spec", "is_solid", "is_opaque", "BLOCK_SPECS"]
+import numpy as np
+
+__all__ = [
+    "Block",
+    "BlockSpec",
+    "spec",
+    "is_solid",
+    "is_opaque",
+    "BLOCK_SPECS",
+    "SOLID_LUT",
+]
 
 
 class Block:
@@ -183,6 +193,13 @@ def spec(block_id: int) -> BlockSpec:
         return BLOCK_SPECS[int(block_id)]
     except KeyError:
         raise ValueError(f"unknown block id {block_id!r}") from None
+
+
+#: Solidity lookup table indexed by block id — lets bulk world queries
+#: (entity ground resolution) test whole id arrays at once.
+SOLID_LUT = np.array(
+    [BLOCK_SPECS[block_id].solid for block_id in Block.ALL], dtype=np.bool_
+)
 
 
 def is_solid(block_id: int) -> bool:

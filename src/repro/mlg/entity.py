@@ -1,16 +1,28 @@
 """Entity model (§2.2.3): anything in the world that is not terrain.
 
-Entities are plain slotted objects updated by the
-:class:`repro.mlg.entity_manager.EntityManager`.  Kinds:
+An :class:`Entity` is a lightweight *handle* over one slot of the
+:class:`repro.mlg.entity_store.EntityStore` struct-of-arrays — attribute
+access reads and writes the backing arrays, so scalar call sites (mob AI,
+TNT priming, workload hooks) and the vectorized physics kernel always see
+the same state.  Kinds:
 
 * ``ITEM`` — dropped resources; transported by water flows, merged into
   stacks by PaperMC's optimization, despawn after five minutes;
 * ``MOB`` — NPCs with wander/goal AI that pathfind over live terrain;
 * ``TNT`` — primed explosives with a fuse (see :mod:`repro.mlg.tnt`);
 * ``PLAYER`` — the server-side avatar of a connected client.
+
+When an entity is reaped its slot is recycled; the handle is *detached*
+onto a frozen copy of its final state, so stale references (a farm
+platform's mob list, a test's local variable) keep reading the dead
+entity's last values instead of whatever entity reuses the slot.
 """
 
 from __future__ import annotations
+
+from math import floor
+
+from repro.mlg.entity_store import KIND_NAME, EntityStore
 
 __all__ = ["EntityKind", "Entity"]
 
@@ -29,70 +41,167 @@ class EntityKind:
     PHYSICAL = (ITEM, MOB, TNT)
 
 
-class Entity:
-    """One simulated entity; positions in blocks, velocities in blocks/tick."""
+class _DetachedSlot:
+    """Frozen single-slot copy of a reaped entity's final state.
+
+    Mimics the store's array-attribute shape (``store.x[slot]``) with
+    plain one-element lists, so :class:`Entity` properties need no branch.
+    """
 
     __slots__ = (
-        "eid",
-        "kind",
-        "x",
-        "y",
-        "z",
-        "vx",
-        "vy",
-        "vz",
-        "alive",
-        "age_ticks",
-        "fuse_ticks",
-        "stack_count",
-        "goal",
-        "path",
-        "path_index",
-        "moved",
+        "eid", "kind", "alive", "moved", "x", "y", "z",
+        "vx", "vy", "vz", "age", "fuse", "stack",
     )
 
-    def __init__(
-        self,
-        eid: int,
-        kind: str,
-        x: float,
-        y: float,
-        z: float,
-        vx: float = 0.0,
-        vy: float = 0.0,
-        vz: float = 0.0,
-        fuse_ticks: int = -1,
-        stack_count: int = 1,
-    ) -> None:
+    def __init__(self, store: EntityStore, slot: int) -> None:
+        self.eid = [int(store.eid[slot])]
+        self.kind = [int(store.kind[slot])]
+        self.alive = [False]
+        self.moved = [bool(store.moved[slot])]
+        self.x = [float(store.x[slot])]
+        self.y = [float(store.y[slot])]
+        self.z = [float(store.z[slot])]
+        self.vx = [float(store.vx[slot])]
+        self.vy = [float(store.vy[slot])]
+        self.vz = [float(store.vz[slot])]
+        self.age = [int(store.age[slot])]
+        self.fuse = [int(store.fuse[slot])]
+        self.stack = [int(store.stack[slot])]
+
+
+class Entity:
+    """Handle over one store slot; positions in blocks, velocities in
+    blocks/tick.  Created only by the entity manager."""
+
+    __slots__ = ("_store", "_slot", "eid", "goal", "path", "path_index")
+
+    def __init__(self, store: EntityStore, slot: int, eid: int) -> None:
+        self._store = store
+        self._slot = slot
         self.eid = eid
-        self.kind = kind
-        self.x = x
-        self.y = y
-        self.z = z
-        self.vx = vx
-        self.vy = vy
-        self.vz = vz
-        self.alive = True
-        self.age_ticks = 0
-        self.fuse_ticks = fuse_ticks
-        self.stack_count = stack_count
         #: Optional navigation target for mobs, set by farm constructs.
         self.goal: tuple[int, int, int] | None = None
         self.path: list[tuple[int, int, int]] | None = None
         self.path_index = 0
-        #: True when the last tick changed this entity's position.
-        self.moved = False
+
+    def _detach(self) -> None:
+        """Freeze the handle onto a copy of its slot (called at reap)."""
+        self._store = _DetachedSlot(self._store, self._slot)
+        self._slot = 0
+
+    # -- slot-backed state ---------------------------------------------------
+
+    @property
+    def kind(self) -> str:
+        return KIND_NAME[int(self._store.kind[self._slot])]
+
+    @property
+    def alive(self) -> bool:
+        return bool(self._store.alive[self._slot])
+
+    @alive.setter
+    def alive(self, value: bool) -> None:
+        self._store.alive[self._slot] = value
+
+    @property
+    def moved(self) -> bool:
+        """True when the last tick changed this entity's position."""
+        return bool(self._store.moved[self._slot])
+
+    @moved.setter
+    def moved(self, value: bool) -> None:
+        self._store.moved[self._slot] = value
+
+    @property
+    def x(self) -> float:
+        return float(self._store.x[self._slot])
+
+    @x.setter
+    def x(self, value: float) -> None:
+        self._store.x[self._slot] = value
+
+    @property
+    def y(self) -> float:
+        return float(self._store.y[self._slot])
+
+    @y.setter
+    def y(self, value: float) -> None:
+        self._store.y[self._slot] = value
+
+    @property
+    def z(self) -> float:
+        return float(self._store.z[self._slot])
+
+    @z.setter
+    def z(self, value: float) -> None:
+        self._store.z[self._slot] = value
+
+    @property
+    def vx(self) -> float:
+        return float(self._store.vx[self._slot])
+
+    @vx.setter
+    def vx(self, value: float) -> None:
+        self._store.vx[self._slot] = value
+
+    @property
+    def vy(self) -> float:
+        return float(self._store.vy[self._slot])
+
+    @vy.setter
+    def vy(self, value: float) -> None:
+        self._store.vy[self._slot] = value
+
+    @property
+    def vz(self) -> float:
+        return float(self._store.vz[self._slot])
+
+    @vz.setter
+    def vz(self, value: float) -> None:
+        self._store.vz[self._slot] = value
+
+    @property
+    def age_ticks(self) -> int:
+        return int(self._store.age[self._slot])
+
+    @age_ticks.setter
+    def age_ticks(self, value: int) -> None:
+        self._store.age[self._slot] = value
+
+    @property
+    def fuse_ticks(self) -> int:
+        return int(self._store.fuse[self._slot])
+
+    @fuse_ticks.setter
+    def fuse_ticks(self, value: int) -> None:
+        self._store.fuse[self._slot] = value
+
+    @property
+    def stack_count(self) -> int:
+        return int(self._store.stack[self._slot])
+
+    @stack_count.setter
+    def stack_count(self, value: int) -> None:
+        self._store.stack[self._slot] = value
+
+    # -- derived -------------------------------------------------------------
 
     @property
     def block_pos(self) -> tuple[int, int, int]:
         """The world block cell the entity currently occupies."""
-        return (int(self.x // 1), int(self.y // 1), int(self.z // 1))
+        store, slot = self._store, self._slot
+        return (
+            floor(store.x[slot]),
+            floor(store.y[slot]),
+            floor(store.z[slot]),
+        )
 
     def distance_sq_to(self, x: float, y: float, z: float) -> float:
-        dx = self.x - x
-        dy = self.y - y
-        dz = self.z - z
-        return dx * dx + dy * dy + dz * dz
+        store, slot = self._store, self._slot
+        dx = store.x[slot] - x
+        dy = store.y[slot] - y
+        dz = store.z[slot] - z
+        return float(dx * dx + dy * dy + dz * dz)
 
     def __repr__(self) -> str:
         return (

@@ -1,10 +1,22 @@
 """Entity simulation (§2.2.3) — movement, collision, AI, merging, despawn.
 
-The manager keeps all entities as objects but switches to a vectorized
-"swarm" physics path when many physical entities exist (the TNT workload
-spawns thousands at once).  Both paths count the same operations into the
-:class:`WorkReport`; the swarm path computes collision-pair counts from
-spatial-hash bin occupancy instead of enumerating pairs.
+Entity state lives in a struct-of-arrays :class:`EntityStore`; the
+:class:`Entity` objects handed to callers are lightweight views over one
+slot.  Every tick — whether one dropped item or a ten-thousand-entity TNT
+chain — runs the SAME vectorized pipeline:
+
+    age → despawn → water-push → integrate → ground-resolve →
+    chunk-containment → collision-count
+
+There is no scalar/vectorized split and no population threshold: the
+per-tick work the benchmark measures is computed by one physics model at
+every scale, so entity-count sweeps cannot inject implementation
+discontinuities into the variability metrics.  Ground resolution scans
+*below* each entity (the bulk equivalent of a downward ray), never the
+heightmap top, so items inside enclosed farms stay inside.
+
+Mob AI (pathfinding, wander impulses) is inherently sequential and runs
+scalar per mob, but mob *physics* goes through the same kernel.
 
 PaperMC's entity-handler optimization (paper Appendix A) appears here as
 ``merge_items`` (nearby item stacks merge into one entity) and is enabled
@@ -14,26 +26,38 @@ per variant profile.
 from __future__ import annotations
 
 from collections.abc import Callable, Iterable
+from math import floor
 
 import numpy as np
 
 from repro.mlg.blocks import Block
 from repro.mlg.constants import ITEM_DESPAWN_S, TICK_RATE_HZ
-from repro.mlg.entity import DRAG, GRAVITY_PER_TICK, Entity, EntityKind
+from repro.mlg.entity import DRAG, GRAVITY_PER_TICK, Entity
+from repro.mlg.entity_store import (
+    KIND_CODE,
+    KIND_ITEM,
+    KIND_MOB,
+    KIND_TNT,
+    EntityStore,
+)
 from repro.mlg.pathfinding import PathFinder
 from repro.mlg.workreport import Op, WorkReport
 from repro.mlg.world import World
 
 __all__ = ["EntityManager"]
 
-#: Entity count beyond which physics is vectorized.
-SWARM_THRESHOLD = 96
 #: Spatial-hash cell edge, in blocks.
 CELL_SIZE = 1.0
 #: Neighbor-cell factor approximating cross-cell collision checks.
 NEIGHBOR_FACTOR = 3.0
 #: Mobs re-path every this many ticks (staggered by entity id).
 REPATH_INTERVAL = 40
+#: Horizontal ground friction applied to grounded entities.
+GROUND_FRICTION = 0.6
+#: Water-flow push strength per tick (blocks/tick per unit flow).
+WATER_PUSH = 0.014
+#: Buoyancy floor: items in water never sink faster than this.
+WATER_BUOYANCY_VY = -0.02
 
 _ITEM_DESPAWN_TICKS = int(ITEM_DESPAWN_S * TICK_RATE_HZ)
 
@@ -53,6 +77,9 @@ class EntityManager:
         self.merge_items = merge_items
         self.fluid_flow = fluid_flow
         self.pathfinder = PathFinder(world)
+        self.store = EntityStore()
+        #: Slot → handle for the store's current layout.
+        self._handles: list[Entity | None] = [None] * self.store.capacity
         self._entities: dict[int, Entity] = {}
         self._next_eid = 1
         #: Entities that died this tick (for destroy packets).
@@ -77,11 +104,18 @@ class EntityManager:
         stack_count: int = 1,
     ) -> Entity:
         """Create and register a new entity."""
-        entity = Entity(
-            self._next_eid, kind, x, y, z, vx, vy, vz, fuse_ticks, stack_count
-        )
+        eid = self._next_eid
         self._next_eid += 1
-        self._entities[entity.eid] = entity
+        slot = self.store.allocate(
+            eid, KIND_CODE[kind], x, y, z, vx, vy, vz, fuse_ticks, stack_count
+        )
+        if len(self._handles) < self.store.capacity:
+            self._handles.extend(
+                [None] * (self.store.capacity - len(self._handles))
+            )
+        entity = Entity(self.store, slot, eid)
+        self._handles[slot] = entity
+        self._entities[eid] = entity
         self.spawned_this_tick.append(entity)
         return entity
 
@@ -98,22 +132,77 @@ class EntityManager:
         return self._entities.values()
 
     def count(self, kind: str | None = None) -> int:
-        if kind is None:
-            return len(self._entities)
-        return sum(1 for e in self._entities.values() if e.kind == kind)
+        """Live entity count — an array reduction over the store."""
+        return self.store.count(None if kind is None else KIND_CODE[kind])
+
+    def moved_count(self) -> int:
+        """Live entities that moved this tick — an array reduction."""
+        return self.store.moved_count()
 
     def entities_of(self, kind: str) -> list[Entity]:
-        return [e for e in self._entities.values() if e.kind == kind]
+        code = KIND_CODE[kind]
+        slots = np.flatnonzero(self.store.kind == code)
+        return [self._handles[int(slot)] for slot in slots]
 
     def entities_near(
         self, x: float, y: float, z: float, radius: float
     ) -> list[Entity]:
-        r_sq = radius * radius
-        return [
-            e
-            for e in self._entities.values()
-            if e.alive and e.distance_sq_to(x, y, z) <= r_sq
+        store = self.store
+        slots = store.alive_slots()
+        if slots.size == 0:
+            return []
+        dx = store.x[slots] - x
+        dy = store.y[slots] - y
+        dz = store.z[slots] - z
+        hits = slots[dx * dx + dy * dy + dz * dz <= radius * radius]
+        return [self._handles[int(slot)] for slot in hits]
+
+    def absorb_items(
+        self,
+        x: float,
+        z: float,
+        radius: float,
+        min_age_ticks: int = 0,
+        limit: int | None = None,
+    ) -> int:
+        """Collect settled items within a horizontal radius (hopper lines).
+
+        Removes up to ``limit`` item entities older than ``min_age_ticks``
+        whose horizontal distance to ``(x, z)`` is within ``radius``, counts
+        them into :attr:`collected_items`, and returns how many were taken.
+        Horizontal catchment only: knockback can bounce drops around, and
+        the hoppers below still catch them.
+        """
+        store = self.store
+        slots = store.alive_slots(KIND_ITEM)
+        if slots.size == 0:
+            return 0
+        dx = store.x[slots] - x
+        dz = store.z[slots] - z
+        hits = slots[
+            (store.age[slots] > min_age_ticks)
+            & (dx * dx + dz * dz <= radius * radius)
         ]
+        if limit is not None and hits.size > limit:
+            # Oldest first, so a binding limit cannot starve long-settled
+            # items until they despawn uncollected (slot order after
+            # free-list recycling favours the newest items).
+            oldest = np.argsort(-store.age[hits], kind="stable")
+            hits = hits[oldest[:limit]]
+        for slot in hits:
+            self.remove(self._handles[int(slot)])
+        self.collected_items += int(hits.size)
+        return int(hits.size)
+
+    def expire_fuses(self) -> list[Entity]:
+        """Decrement every live TNT fuse (array op); return expired handles."""
+        store = self.store
+        slots = store.alive_slots(KIND_TNT)
+        if slots.size == 0:
+            return []
+        store.fuse[slots] -= 1
+        expired = slots[store.fuse[slots] <= 0]
+        return [self._handles[int(slot)] for slot in expired]
 
     # -- per-tick update --------------------------------------------------------
 
@@ -124,42 +213,54 @@ class EntityManager:
 
     def tick(self, report: WorkReport) -> None:
         """Advance all physical entities by one game tick."""
-        mobs: list[Entity] = []
-        swarm: list[Entity] = []
-        for entity in self._entities.values():
-            if not entity.alive:
-                continue
-            entity.moved = False
-            if entity.kind == EntityKind.MOB:
-                mobs.append(entity)
-            elif entity.kind in (EntityKind.ITEM, EntityKind.TNT):
-                swarm.append(entity)
-        for mob in mobs:
-            self._tick_mob(mob, report)
-        if len(swarm) > SWARM_THRESHOLD:
-            self._tick_swarm_vectorized(swarm, report)
-        else:
-            for entity in swarm:
-                self._tick_physical_scalar(entity, report)
-        self._count_collisions(mobs, swarm, report)
+        store = self.store
+        store.moved[:] = False
+        for slot in store.alive_slots(KIND_MOB):
+            self._tick_mob_ai(int(slot), report)
+        self._tick_kernel(report)
+        self._count_collisions(report)
         if self.merge_items:
             self._merge_item_stacks(report)
         self._reap()
 
     def _reap(self) -> None:
-        dead = [eid for eid, e in self._entities.items() if not e.alive]
-        for eid in dead:
-            del self._entities[eid]
+        store = self.store
+        dead = np.flatnonzero((store.eid != 0) & ~store.alive)
+        for slot in dead:
+            slot = int(slot)
+            handle = self._handles[slot]
+            handle._detach()
+            del self._entities[handle.eid]
+            self._handles[slot] = None
+            store.release(slot)
+        if store.should_compact():
+            old_slots = store.compact()
+            handles: list[Entity | None] = [None] * store.capacity
+            for new_slot, old_slot in enumerate(old_slots):
+                handle = self._handles[int(old_slot)]
+                handle._slot = new_slot
+                handles[new_slot] = handle
+            self._handles = handles
 
     # -- mob AI ------------------------------------------------------------------
 
-    def _tick_mob(self, mob: Entity, report: WorkReport) -> None:
+    def _tick_mob_ai(self, slot: int, report: WorkReport) -> None:
+        """Steer one mob: pathfind toward its goal or wander.
+
+        Only velocity decisions happen here — integration, grounding, and
+        chunk containment run in the shared kernel with everything else.
+        Reads the store arrays directly: this is the hot scalar loop, so
+        it skips the handle's property dispatch.
+        """
+        store = self.store
+        mob = self._handles[slot]
         report.add(Op.ENTITY_UPDATE)
-        mob.age_ticks += 1
+        store.age[slot] += 1
+        age_plus_eid = int(store.age[slot]) + mob.eid
         needs_path = (
             mob.goal is not None
             and (mob.path is None or mob.path_index >= len(mob.path))
-            and (mob.age_ticks + mob.eid) % REPATH_INTERVAL == 0
+            and age_plus_eid % REPATH_INTERVAL == 0
         )
         if needs_path:
             result = self.pathfinder.find_path(
@@ -169,151 +270,170 @@ class EntityManager:
             mob.path_index = 0
         if mob.path and mob.path_index < len(mob.path):
             tx, ty, tz = mob.path[mob.path_index]
-            dx = (tx + 0.5) - mob.x
-            dz = (tz + 0.5) - mob.z
+            dx = (tx + 0.5) - float(store.x[slot])
+            dz = (tz + 0.5) - float(store.z[slot])
             dist = max(1e-6, (dx * dx + dz * dz) ** 0.5)
             speed = 0.15
-            mob.vx = dx / dist * speed
-            mob.vz = dz / dist * speed
+            store.vx[slot] = dx / dist * speed
+            store.vz[slot] = dz / dist * speed
             if dist < 0.4:
                 mob.path_index += 1
-        elif mob.goal is None and (mob.age_ticks + mob.eid) % 60 == 0:
+        elif mob.goal is None and age_plus_eid % 60 == 0:
             # Idle wander impulse.
             angle = self.rng.random() * 2 * np.pi
-            mob.vx = float(np.cos(angle)) * 0.08
-            mob.vz = float(np.sin(angle)) * 0.08
-        old_x, old_z = mob.x, mob.z
-        self._integrate_scalar(mob)
-        # Entities do not tick in unloaded chunks; keep mobs inside the
-        # loaded world instead of letting them wander off the edge.
-        if not self.world.has_chunk(int(mob.x) >> 4, int(mob.z) >> 4):
-            mob.x, mob.z = old_x, old_z
-            mob.vx = -mob.vx
-            mob.vz = -mob.vz
+            store.vx[slot] = np.cos(angle) * 0.08
+            store.vz[slot] = np.sin(angle) * 0.08
 
-    # -- scalar physics ------------------------------------------------------------
+    # -- the unified physics kernel ----------------------------------------------
 
-    def _tick_physical_scalar(self, entity: Entity, report: WorkReport) -> None:
-        if entity.kind == EntityKind.ITEM:
-            report.add(Op.ITEM_UPDATE)
-            entity.age_ticks += 1
-            if entity.age_ticks > _ITEM_DESPAWN_TICKS:
-                self.remove(entity)
-                return
-            self._apply_water_push(entity)
-        else:
-            report.add(Op.TNT_UPDATE)
-            entity.age_ticks += 1
-        self._integrate_scalar(entity)
-
-    def _apply_water_push(self, entity: Entity) -> None:
-        if self.fluid_flow is None:
+    def _tick_kernel(self, report: WorkReport) -> None:
+        """One vectorized physics pass over every live physical entity."""
+        store = self.store
+        kind = store.kind
+        phys = np.flatnonzero(
+            store.alive
+            & ((kind == KIND_ITEM) | (kind == KIND_MOB) | (kind == KIND_TNT))
+        )
+        if phys.size == 0:
             return
-        bx, by, bz = entity.block_pos
-        block = self.world.get_block(bx, by, bz)
-        if block in (Block.WATER_FLOW, Block.WATER_SOURCE):
-            push_x, push_z = self.fluid_flow(bx, by, bz)
-            entity.vx += push_x * 0.014
-            entity.vz += push_z * 0.014
-            entity.vy = max(entity.vy, -0.02)  # buoyancy
 
-    def _integrate_scalar(self, entity: Entity) -> None:
-        entity.vy -= GRAVITY_PER_TICK
-        entity.vx *= DRAG
-        entity.vy *= DRAG
-        entity.vz *= DRAG
-        old = (entity.x, entity.y, entity.z)
-        entity.x += entity.vx
-        entity.z += entity.vz
-        new_y = entity.y + entity.vy
-        ground = self._ground_below(entity.x, entity.y, entity.z)
-        if new_y <= ground:
-            new_y = ground
-            entity.vy = 0.0
-            entity.vx *= 0.6  # ground friction
-            entity.vz *= 0.6
-        entity.y = new_y
-        entity.moved = (
-            abs(entity.x - old[0]) > 1e-3
-            or abs(entity.y - old[1]) > 1e-3
-            or abs(entity.z - old[2]) > 1e-3
+        is_item = kind[phys] == KIND_ITEM
+        is_tnt = kind[phys] == KIND_TNT
+        n_items = int(is_item.sum())
+        n_tnt = int(is_tnt.sum())
+        if n_items:
+            report.add(Op.ITEM_UPDATE, n_items)
+        if n_tnt:
+            report.add(Op.TNT_UPDATE, n_tnt)
+
+        # Age items and TNT (mobs age in the AI pass), then despawn expired
+        # items BEFORE they move — despawn ordering is part of the physics
+        # contract, so it happens in exactly one place.
+        store.age[phys[is_item | is_tnt]] += 1
+        item_slots = phys[is_item]
+        expired = item_slots[store.age[item_slots] > _ITEM_DESPAWN_TICKS]
+        if expired.size:
+            for slot in expired:
+                self.remove(self._handles[int(slot)])
+            phys = phys[store.alive[phys]]
+            if phys.size == 0:
+                return
+
+        # Water-stream transport applies at every population, not just
+        # below some threshold: farms rely on it as their collection belt.
+        if self.fluid_flow is not None:
+            self._apply_water_push(phys[store.kind[phys] == KIND_ITEM])
+
+        # Integrate: same float-op order as the historical scalar path, so
+        # a lone item and one item among thousands trace identical paths.
+        store.vy[phys] -= GRAVITY_PER_TICK
+        store.vx[phys] *= DRAG
+        store.vy[phys] *= DRAG
+        store.vz[phys] *= DRAG
+        old_x = store.x[phys].copy()
+        old_y = store.y[phys].copy()
+        old_z = store.z[phys].copy()
+        store.x[phys] += store.vx[phys]
+        store.z[phys] += store.vz[phys]
+        new_x = store.x[phys]
+        new_z = store.z[phys]
+        new_y = old_y + store.vy[phys]
+        # Ground = first solid surface BELOW the entity (downward scan),
+        # never the column's heightmap top: under a roof the two disagree.
+        # Scan depth: only blocks an entity can cross this tick can change
+        # the grounded decision or the clamp target, so the batch's deepest
+        # fall (+2 margin) bounds the scan exactly — a deeper solid block
+        # would sit strictly below every entity's new_y, and the phantom
+        # fallback floor only engages past a 12-block/tick fall.
+        depth = min(
+            12,
+            int(np.clip(np.max(np.floor(old_y) - np.floor(new_y)), 0, 10))
+            + 2,
+        )
+        ground = self.world.ground_below_bulk(
+            new_x, old_y, new_z, max_scan=depth
+        )
+        grounded = new_y <= ground
+        new_y = np.where(grounded, ground, new_y)
+        store.y[phys] = new_y
+        store.vy[phys] = np.where(grounded, 0.0, store.vy[phys])
+        friction = np.where(grounded, GROUND_FRICTION, 1.0)
+        store.vx[phys] *= friction
+        store.vz[phys] *= friction
+        store.moved[phys] = (
+            (np.abs(new_x - old_x) > 1e-3)
+            | (np.abs(new_y - old_y) > 1e-3)
+            | (np.abs(new_z - old_z) > 1e-3)
         )
 
-    def _ground_below(self, x: float, y: float, z: float) -> float:
-        """Top surface of the first solid block at or below the entity."""
-        bx, bz = int(x // 1), int(z // 1)
-        start = min(int(y // 1), 127)
-        world = self.world
-        for by in range(start, max(-1, start - 12), -1):
-            if world.is_solid_at(bx, by, bz):
-                return float(by + 1)
-        return float(max(0, start - 12))
+        # Entities do not tick in unloaded chunks; keep mobs inside the
+        # loaded world instead of letting them wander off the edge.
+        is_mob = store.kind[phys] == KIND_MOB
+        if is_mob.any():
+            mob_slots = phys[is_mob]
+            loaded = self.world.chunks_loaded_bulk(
+                np.floor(store.x[mob_slots]).astype(np.int64),
+                np.floor(store.z[mob_slots]).astype(np.int64),
+            )
+            if not loaded.all():
+                escaped = mob_slots[~loaded]
+                store.x[escaped] = old_x[is_mob][~loaded]
+                store.z[escaped] = old_z[is_mob][~loaded]
+                store.vx[escaped] = -store.vx[escaped]
+                store.vz[escaped] = -store.vz[escaped]
 
-    # -- vectorized swarm physics -----------------------------------------------
-
-    def _tick_swarm_vectorized(
-        self, swarm: list[Entity], report: WorkReport
-    ) -> None:
-        n = len(swarm)
-        pos = np.empty((n, 3), dtype=np.float64)
-        vel = np.empty((n, 3), dtype=np.float64)
-        for i, e in enumerate(swarm):
-            pos[i, 0] = e.x
-            pos[i, 1] = e.y
-            pos[i, 2] = e.z
-            vel[i, 0] = e.vx
-            vel[i, 1] = e.vy
-            vel[i, 2] = e.vz
-        vel[:, 1] -= GRAVITY_PER_TICK
-        vel *= DRAG
-        new_pos = pos + vel
-        heights = self.world.column_heights_bulk(
-            np.floor(new_pos[:, 0]).astype(np.int64),
-            np.floor(new_pos[:, 2]).astype(np.int64),
-        ).astype(np.float64)
-        grounded = new_pos[:, 1] <= heights
-        new_pos[grounded, 1] = heights[grounded]
-        vel[grounded, 1] = 0.0
-        vel[grounded, 0] *= 0.6
-        vel[grounded, 2] *= 0.6
-        moved = np.abs(new_pos - pos).max(axis=1) > 1e-3
-        items = 0
-        tnts = 0
-        for i, e in enumerate(swarm):
-            e.x = float(new_pos[i, 0])
-            e.y = float(new_pos[i, 1])
-            e.z = float(new_pos[i, 2])
-            e.vx = float(vel[i, 0])
-            e.vy = float(vel[i, 1])
-            e.vz = float(vel[i, 2])
-            e.moved = bool(moved[i])
-            e.age_ticks += 1
-            if e.kind == EntityKind.ITEM:
-                items += 1
-                if e.age_ticks > _ITEM_DESPAWN_TICKS:
-                    self.remove(e)
-            else:
-                tnts += 1
-        report.add(Op.ITEM_UPDATE, items)
-        report.add(Op.TNT_UPDATE, tnts)
+    def _apply_water_push(self, item_slots: np.ndarray) -> None:
+        """Vectorized flow push for items standing in water."""
+        if item_slots.size == 0:
+            return
+        store = self.store
+        bx = np.floor(store.x[item_slots]).astype(np.int64)
+        by = np.floor(store.y[item_slots]).astype(np.int64)
+        bz = np.floor(store.z[item_slots]).astype(np.int64)
+        blocks = self.world.blocks_bulk(bx, by, bz)
+        wet = (blocks == Block.WATER_FLOW) | (blocks == Block.WATER_SOURCE)
+        if not wet.any():
+            return
+        w = np.flatnonzero(wet)
+        wet_slots = item_slots[w]
+        # One flow lookup per distinct water cell; streams funnel many
+        # items through few cells.
+        push = np.empty((w.size, 2), dtype=np.float64)
+        flow_cache: dict[tuple[int, int, int], tuple[float, float]] = {}
+        for i, j in enumerate(w):
+            cell = (int(bx[j]), int(by[j]), int(bz[j]))
+            vec = flow_cache.get(cell)
+            if vec is None:
+                vec = self.fluid_flow(*cell)
+                flow_cache[cell] = vec
+            push[i, 0] = vec[0]
+            push[i, 1] = vec[1]
+        store.vx[wet_slots] += push[:, 0] * WATER_PUSH
+        store.vz[wet_slots] += push[:, 1] * WATER_PUSH
+        store.vy[wet_slots] = np.maximum(store.vy[wet_slots], WATER_BUOYANCY_VY)
 
     # -- collision accounting -------------------------------------------------------
 
-    def _cell_keys(self, entities: list[Entity]) -> np.ndarray:
-        keys = np.empty(len(entities), dtype=np.int64)
-        inv = 1.0 / CELL_SIZE
-        for i, e in enumerate(entities):
-            cx = int(e.x * inv)
-            cy = int(e.y * inv)
-            cz = int(e.z * inv)
-            keys[i] = ((cx & 0x1FFFFF) << 42) | ((cy & 0x1FFFFF) << 21) | (
-                cz & 0x1FFFFF
-            )
-        return keys
+    def _cell_keys(self, slots: np.ndarray) -> np.ndarray:
+        """Packed spatial-hash keys for the given slots.
 
-    def _count_collisions(
-        self, mobs: list[Entity], swarm: list[Entity], report: WorkReport
-    ) -> float:
+        Cell coordinates use ``floor``, not ``int()`` truncation: truncation
+        collapses the two cells straddling each axis at negative coordinates
+        (x ∈ (-1, 1) would alias into one cell), inflating pair counts and
+        over-merging stacks near the origin.
+        """
+        store = self.store
+        inv = 1.0 / CELL_SIZE
+        cx = np.floor(store.x[slots] * inv).astype(np.int64)
+        cy = np.floor(store.y[slots] * inv).astype(np.int64)
+        cz = np.floor(store.z[slots] * inv).astype(np.int64)
+        return (
+            ((cx & 0x1FFFFF) << 42)
+            | ((cy & 0x1FFFFF) << 21)
+            | (cz & 0x1FFFFF)
+        )
+
+    def _count_collisions(self, report: WorkReport) -> float:
         """Count collision-pair checks via spatial-hash occupancy.
 
         Entities in the same (and, via ``NEIGHBOR_FACTOR``, adjacent) cells
@@ -321,10 +441,15 @@ class EntityManager:
         work, so that is what we count.  Crowded cells also get a
         separation impulse so dense swarms spread out physically.
         """
-        physical = [e for e in (*mobs, *swarm) if e.alive]
-        if len(physical) < 2:
+        store = self.store
+        kind = store.kind
+        phys = np.flatnonzero(
+            store.alive
+            & ((kind == KIND_ITEM) | (kind == KIND_MOB) | (kind == KIND_TNT))
+        )
+        if phys.size < 2:
             return 0.0
-        keys = self._cell_keys(physical)
+        keys = self._cell_keys(phys)
         _, inverse, counts = np.unique(
             keys, return_inverse=True, return_counts=True
         )
@@ -333,28 +458,26 @@ class EntityManager:
             report.add(Op.COLLISION_PAIR, pairs)
         crowded = counts[inverse] > 2
         if crowded.any():
-            idx = np.flatnonzero(crowded)
-            jitter = self.rng.uniform(-0.04, 0.04, size=(idx.size, 2))
-            for j, i in enumerate(idx):
-                entity = physical[int(i)]
-                entity.vx += float(jitter[j, 0])
-                entity.vz += float(jitter[j, 1])
+            crowded_slots = phys[crowded]
+            jitter = self.rng.uniform(
+                -0.04, 0.04, size=(crowded_slots.size, 2)
+            )
+            store.vx[crowded_slots] += jitter[:, 0]
+            store.vz[crowded_slots] += jitter[:, 1]
         return pairs
 
     # -- PaperMC item merging -----------------------------------------------------
 
     def _merge_item_stacks(self, report: WorkReport) -> None:
         """Merge co-located item entities into stacks (PaperMC behaviour)."""
-        items = [
-            e
-            for e in self._entities.values()
-            if e.alive and e.kind == EntityKind.ITEM
-        ]
-        if len(items) < 2:
+        store = self.store
+        slots = store.alive_slots(KIND_ITEM)
+        if slots.size < 2:
             return
         by_cell: dict[tuple[int, int, int], Entity] = {}
-        for item in items:
-            cell = (int(item.x), int(item.y), int(item.z))
+        for slot in slots:
+            item = self._handles[int(slot)]
+            cell = (floor(item.x), floor(item.y), floor(item.z))
             keeper = by_cell.get(cell)
             if keeper is None:
                 by_cell[cell] = item

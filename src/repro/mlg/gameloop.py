@@ -173,16 +173,19 @@ class GameLoop:
         """Build this tick's server→client state-update packets."""
         server = self.server
         net = server.net
+
+        # Drain the change log and notify observers BEFORE any client
+        # gating: observer-triggered redstone is server-side simulation,
+        # so it must advance even on headless/zero-bot runs.
+        changes = server.world.drain_changes()
+        server.redstone.on_block_changes(changes, start_us)
         if net.connected_count == 0:
-            server.world.drain_changes()
             return
 
         # Block changes: per-block packets, or chunk resends past a bulk
         # threshold (explosions rewrite whole regions).  Terrain mutation
         # also drags along the real protocol's side traffic: per-section
         # light updates, sound/effect events, and chunk-section refreshes.
-        changes = server.world.drain_changes()
-        server.redstone.on_block_changes(changes, start_us)
         if changes:
             touched_chunks = {
                 (change.x >> 4, change.z >> 4) for change in changes
@@ -230,9 +233,7 @@ class GameLoop:
         # (PaperMC batches to every other tick).
         interval = server.variant.entity_broadcast_interval
         if self.tick_index % interval == 0:
-            moved = sum(
-                1 for e in server.entities.all_entities() if e.alive and e.moved
-            )
+            moved = server.entities.moved_count()
             if moved:
                 net.broadcast_counted(PacketCategory.ENTITY_MOVE, moved, report)
                 # A fraction of movers also get velocity sync.

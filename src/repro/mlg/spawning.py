@@ -193,16 +193,11 @@ class SpawnEngine:
                         )
             # The farm's hopper line absorbs settled drops (keeps the item
             # population bounded, as a real farm's collection system does).
-            # Horizontal catchment only: knockback can bounce drops off the
-            # platform, and the hoppers below still catch them.
-            for item in self.entities.all_entities():
-                if item.kind != EntityKind.ITEM or not item.alive:
-                    continue
-                if item.age_ticks <= platform.collect_after_ticks:
-                    continue
-                dx = item.x - (gx + 0.5)
-                dz = item.z - (gz + 0.5)
-                if dx * dx + dz * dz <= 36.0:
-                    self.entities.remove(item)
-                    self.entities.collected_items += 1
-                    report.add(Op.BLOCK_UPDATE, 8)
+            absorbed = self.entities.absorb_items(
+                gx + 0.5,
+                gz + 0.5,
+                radius=6.0,
+                min_age_ticks=platform.collect_after_ticks,
+            )
+            if absorbed:
+                report.add(Op.BLOCK_UPDATE, 8 * absorbed)

@@ -106,14 +106,12 @@ class TNTSystem:
     # -- per-tick update -------------------------------------------------------------
 
     def tick(self, report: WorkReport) -> int:
-        """Decrement fuses and explode expired TNT; returns explosion count."""
-        exploding: list[Entity] = []
-        for entity in self.entities.entities_of(EntityKind.TNT):
-            if not entity.alive:
-                continue
-            entity.fuse_ticks -= 1
-            if entity.fuse_ticks <= 0:
-                exploding.append(entity)
+        """Decrement fuses and explode expired TNT; returns explosion count.
+
+        Fuse countdown is a single array op over the entity store; only
+        the (few) expired entities come back as handles to detonate.
+        """
+        exploding = self.entities.expire_fuses()
         for entity in exploding:
             self.explode(entity, report)
         return len(exploding)

@@ -79,6 +79,10 @@ class ServerTelemetry:
         self.wall_us = 0.0
         self.ticks = 0
         self.overloaded_ticks = 0
+        #: Live-entity population at the last observed tick / its maximum —
+        #: the entity-kernel scale the tick durations were measured at.
+        self.entities_last = 0
+        self.entities_peak = 0
         # Streaming ISR state (Equation 1, all in ms).
         self._prev_period_ms: float | None = None
         self._jitter_sum_ms = 0.0
@@ -99,6 +103,11 @@ class ServerTelemetry:
         self.wall_us += record.duration_us + record.wait_us
         if record.overloaded:
             self.overloaded_ticks += 1
+        entities = getattr(record, "entities", None)
+        if entities is not None:
+            self.entities_last = entities
+            if entities > self.entities_peak:
+                self.entities_peak = entities
         period_ms = max(duration_ms, self.budget_ms)
         if self._prev_period_ms is not None:
             self._jitter_sum_ms += abs(period_ms - self._prev_period_ms)
@@ -138,4 +147,6 @@ class ServerTelemetry:
             "breakdown_us": dict(sorted(self.bucket_totals_us.items())),
             "wait_after_us": self.wait_after_us,
             "wall_us": self.wall_us,
+            "entities_last": self.entities_last,
+            "entities_peak": self.entities_peak,
         }

@@ -48,22 +48,11 @@ def _absorb_items(
     farm design ends in a hopper line, which is what keeps a farm's item
     population bounded.
     """
-    absorbed = 0
-    r_sq = radius * radius
-    for item in server.entities.all_entities():
-        if item.kind != EntityKind.ITEM or not item.alive:
-            continue
-        if item.age_ticks <= min_age_ticks:
-            continue
-        dx = item.x - x
-        dz = item.z - z
-        if dx * dx + dz * dz <= r_sq:
-            server.entities.remove(item)
-            server.entities.collected_items += 1
-            report.add(Op.BLOCK_UPDATE, 8)
-            absorbed += 1
-            if absorbed >= limit:
-                break
+    absorbed = server.entities.absorb_items(
+        x, z, radius, min_age_ticks=min_age_ticks, limit=limit
+    )
+    if absorbed:
+        report.add(Op.BLOCK_UPDATE, 8 * absorbed)
     return absorbed
 
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.mlg.blocks import Block
 from repro.mlg.entity import Entity, EntityKind
-from repro.mlg.entity_manager import SWARM_THRESHOLD, EntityManager
+from repro.mlg.entity_manager import EntityManager
 from repro.mlg.tnt import BLAST_RADIUS, RAYS_PER_EXPLOSION, TNTSystem
 from repro.mlg.workreport import Op, WorkReport
 from repro.mlg.world import World
@@ -95,12 +95,12 @@ class TestPhysics:
         mgr.tick(report)
         assert mgr.count(EntityKind.ITEM) == 0
 
-    def test_swarm_path_matches_scalar_ground_clamp(self):
-        """Vectorized physics must also land entities on the ground."""
+    def test_large_swarm_lands_on_the_ground(self):
+        """The kernel must land big populations on the ground too."""
         mgr, _ = _manager()
         entities = [
             mgr.spawn(EntityKind.TNT, 8.0 + i * 0.01, 70.0, 8.0, fuse_ticks=10_000)
-            for i in range(SWARM_THRESHOLD + 10)
+            for i in range(106)
         ]
         report = WorkReport()
         for _ in range(120):
@@ -112,12 +112,12 @@ class TestPhysics:
 
     def test_swarm_counts_tnt_updates(self):
         mgr, _ = _manager()
-        for i in range(SWARM_THRESHOLD + 10):
+        for i in range(106):
             mgr.spawn(EntityKind.TNT, 8.0, 61.0, 8.0, fuse_ticks=10_000)
         report = WorkReport()
         mgr.begin_tick()
         mgr.tick(report)
-        assert report.get(Op.TNT_UPDATE) == SWARM_THRESHOLD + 10
+        assert report.get(Op.TNT_UPDATE) == 106
 
     def test_collision_pairs_counted_for_crowds(self):
         mgr, _ = _manager()

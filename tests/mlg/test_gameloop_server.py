@@ -206,6 +206,56 @@ class TestServerIntrospection:
         assert server.variant.name == "vanilla"
 
 
+class TestHeadlessRedstone:
+    """Observer-triggered redstone must advance with zero clients: the
+    drain+notify step is server-side simulation, not client broadcast."""
+
+    def _observer_server(self):
+        server = _server()
+        # Observer watching a block we mutate from a tick hook, wired to
+        # a powered line so the pulse produces visible updates.
+        server.world.set_block(10, 61, 10, Block.OBSERVER, log=False)
+        server.redstone.register_observer(10, 61, 10)
+        server.world.set_block(11, 61, 10, Block.REDSTONE_WIRE, log=False)
+
+        def mutate(server_, tick_index, report):
+            if tick_index == 0:
+                # Logged change adjacent to the observer.
+                server_.world.set_block(10, 62, 10, Block.STONE)
+
+        server.add_tick_hook(mutate)
+        return server
+
+    def test_observer_fires_with_zero_clients(self):
+        server = self._observer_server()
+        assert server.net.connected_count == 0
+        updates = []
+        for _ in range(6):
+            server.tick()
+            updates.append(server.redstone.last_tick_updates)
+        assert sum(updates) > 0, (
+            "zero-client run froze observer redstone: block changes were "
+            "drained without notifying the redstone engine"
+        )
+
+    def test_observer_updates_match_connected_run(self):
+        # The circuit advances identically whether or not anyone watches.
+        connected = self._observer_server()
+        connected.connect_client("p", 8.0, 8.0, 1000, 1000, 4)
+        headless = self._observer_server()
+        totals = {}
+        for name, server in (("connected", connected), ("headless", headless)):
+            updates = []
+            for _ in range(6):
+                server.tick()
+                updates.append(server.redstone.last_tick_updates)
+            # Tick wall-times differ (join work), so compare totals, not
+            # per-tick placement.
+            totals[name] = sum(updates)
+        assert totals["headless"] == totals["connected"]
+        assert totals["headless"] > 0
+
+
 class TestEntityBroadcastInterval:
     def test_papermc_batches_entity_moves(self):
         counts = {}
