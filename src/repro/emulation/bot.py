@@ -36,14 +36,20 @@ class EmulatedPlayer:
         latency_up_us: int = 1000,
         latency_down_us: int = 1000,
         probe_interval_s: float = PROBE_INTERVAL_S,
+        view_distance: int | None = None,
     ) -> None:
         self.name = name
         self.server = server
         self.rng = rng
         self.behavior = behavior if behavior is not None else Idle()
         self.probe_interval_us = s_to_us(probe_interval_s)
+        # None defers to the server's default view distance.
+        view_kwargs = (
+            {} if view_distance is None else {"view_distance": view_distance}
+        )
         conn = server.connect_client(
-            name, spawn_x, spawn_z, latency_up_us, latency_down_us
+            name, spawn_x, spawn_z, latency_up_us, latency_down_us,
+            **view_kwargs,
         )
         self.client_id = conn.client_id
         self.x = conn.x

@@ -45,6 +45,7 @@ class BotSwarm:
         spawn_z: float = 8.0,
         connect_delay_s: float = 0.0,
         probe_interval_s: float = 1.0,
+        view_distance: int | None = None,
     ) -> None:
         """Schedule one bot; delay 0 connects immediately."""
         up, down = self.network.latency_pair(self.rng)
@@ -60,6 +61,7 @@ class BotSwarm:
                 latency_up_us=up,
                 latency_down_us=down,
                 probe_interval_s=probe_interval_s,
+                view_distance=view_distance,
             )
 
         if connect_delay_s <= 0.0:
@@ -91,9 +93,21 @@ class BotSwarm:
                 connect_delay_s=i * stagger_s,
             )
 
-    def add_observer(self, name: str = "observer") -> None:
+    def add_observer(
+        self,
+        name: str = "observer",
+        spawn_x: float = 8.0,
+        spawn_z: float = 8.0,
+        view_distance: int | None = None,
+    ) -> None:
         """The single idle player of the environment-based workloads."""
-        self.add_bot(name, behavior=Idle(), spawn_x=8.0, spawn_z=8.0)
+        self.add_bot(
+            name,
+            behavior=Idle(),
+            spawn_x=spawn_x,
+            spawn_z=spawn_z,
+            view_distance=view_distance,
+        )
 
     # -- per-tick driving --------------------------------------------------------------
 

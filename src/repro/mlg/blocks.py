@@ -19,6 +19,8 @@ __all__ = [
     "is_opaque",
     "BLOCK_SPECS",
     "SOLID_LUT",
+    "OPAQUE_LUT",
+    "LIGHT_EMISSION_LUT",
 ]
 
 
@@ -199,6 +201,19 @@ def spec(block_id: int) -> BlockSpec:
 #: (entity ground resolution) test whole id arrays at once.
 SOLID_LUT = np.array(
     [BLOCK_SPECS[block_id].solid for block_id in Block.ALL], dtype=np.bool_
+)
+
+#: Opacity lookup table indexed by block id — turns the lighting engine's
+#: per-id mask loops into a single fancy index over a chunk array.
+OPAQUE_LUT = np.array(
+    [BLOCK_SPECS[block_id].opaque for block_id in Block.ALL], dtype=np.bool_
+)
+
+#: Light emission per block id (0 for non-emitters), for vectorized
+#: emitter scans.
+LIGHT_EMISSION_LUT = np.array(
+    [BLOCK_SPECS[block_id].light_emission for block_id in Block.ALL],
+    dtype=np.uint8,
 )
 
 

@@ -19,8 +19,9 @@ from repro.mlg.workreport import Op, WorkReport
 
 __all__ = ["TickRecord", "GameLoop"]
 
-#: A tick resend threshold: when one tick changes more blocks than this per
-#: chunk region, servers send whole-chunk updates instead of per-block ones.
+#: A tick resend threshold: when one tick changes more blocks than this —
+#: totalled across the whole tick, not per chunk region — servers resend
+#: the touched chunks instead of per-block updates.
 MULTI_BLOCK_THRESHOLD = 512
 
 

@@ -9,6 +9,8 @@ workload sources.
 
 from __future__ import annotations
 
+import heapq
+
 import numpy as np
 
 from repro.mlg.blocks import Block
@@ -39,13 +41,71 @@ class GrowthEngine:
         self.matured: list[tuple[int, int, int]] = []
 
     def tick(self, report: WorkReport) -> int:
-        """Run random ticks on every loaded chunk; returns ticks applied."""
+        """Run random ticks on every loaded chunk; returns ticks applied.
+
+        One vectorized gather reads every drawn position across every
+        loaded chunk at once; only the rare CROP/KELP/SAPLING hits are
+        dispatched to the scalar growth handlers.  Draw order and handler
+        dispatch order match :meth:`tick_scalar` exactly, so both paths
+        are bit-identical for the same RNG state.
+        """
+        self.matured.clear()
+        chunks = list(self.world.loaded_chunks())
+        if not chunks:
+            return 0
+        # Vectorized draw of all random positions for all chunks at once.
+        n = len(chunks) * RANDOM_TICK_SPEED
+        lxs = self.rng.integers(0, CHUNK_SIZE, size=n)
+        lzs = self.rng.integers(0, CHUNK_SIZE, size=n)
+        ys = self.rng.integers(0, WORLD_HEIGHT, size=n)
+        blocks = np.empty(n, dtype=np.uint8)
+        for i, chunk in enumerate(chunks):
+            sl = slice(i * RANDOM_TICK_SPEED, (i + 1) * RANDOM_TICK_SPEED)
+            blocks[sl] = chunk.blocks[lxs[sl], lzs[sl], ys[sl]]
+        heap = np.flatnonzero(
+            (blocks == Block.CROP)
+            | (blocks == Block.KELP)
+            | (blocks == Block.SAPLING)
+        ).tolist()
+        heapq.heapify(heap)
+        while heap:
+            k = heapq.heappop(heap)
+            chunk = chunks[k // RANDOM_TICK_SPEED]
+            lx, lz, y = int(lxs[k]), int(lzs[k]), int(ys[k])
+            # Re-read live: an earlier hit this tick (a sapling's canopy,
+            # growing kelp) may have overwritten a later drawn position.
+            block = int(chunk.blocks[lx, lz, y])
+            if block == Block.CROP:
+                self._grow_crop(chunk, lx, lz, y)
+            elif block == Block.KELP:
+                grown_y = self._grow_kelp(chunk, lx, lz, y, report)
+                if grown_y is not None:
+                    # Kelp growth is the one mutation that can turn a
+                    # later snapshot-miss into a live hit; promote any
+                    # remaining draw of this chunk that landed on the
+                    # freshly grown cell so dispatch matches the scalar
+                    # loop exactly.
+                    chunk_end = (k // RANDOM_TICK_SPEED + 1) * RANDOM_TICK_SPEED
+                    for j in range(k + 1, chunk_end):
+                        if (
+                            int(lxs[j]) == lx
+                            and int(lzs[j]) == lz
+                            and int(ys[j]) == grown_y
+                        ):
+                            heapq.heappush(heap, j)
+            elif block == Block.SAPLING:
+                self._grow_sapling(chunk, lx, lz, y, report)
+        report.add(Op.GROWTH, n)
+        return n
+
+    def tick_scalar(self, report: WorkReport) -> int:
+        """Scalar reference for :meth:`tick` (per-chunk per-draw loop),
+        kept for the batched-vs-scalar parity fixtures."""
         self.matured.clear()
         applied = 0
         chunks = list(self.world.loaded_chunks())
         if not chunks:
             return 0
-        # Vectorized draw of all random positions for all chunks at once.
         n = len(chunks) * RANDOM_TICK_SPEED
         lxs = self.rng.integers(0, CHUNK_SIZE, size=n)
         lzs = self.rng.integers(0, CHUNK_SIZE, size=n)
@@ -79,7 +139,8 @@ class GrowthEngine:
 
     def _grow_kelp(
         self, chunk, lx: int, lz: int, y: int, report: WorkReport
-    ) -> None:
+    ) -> int | None:
+        """Returns the y the stalk grew into, or None if it did not grow."""
         # Kelp grows one block up through water, bounded by stalk height.
         top = y
         while (
@@ -91,7 +152,7 @@ class GrowthEngine:
         while base > 0 and chunk.blocks[lx, lz, base - 1] == Block.KELP:
             base -= 1
         if top - base + 1 >= KELP_MAX_HEIGHT:
-            return
+            return None
         above = top + 1
         if (
             above < min(SEA_LEVEL, WORLD_HEIGHT)
@@ -101,6 +162,8 @@ class GrowthEngine:
             z = chunk.cz * CHUNK_SIZE + lz
             self.world.set_block(x, above, z, Block.KELP)
             report.add(Op.BLOCK_ADD_REMOVE)
+            return above
+        return None
 
     def _grow_sapling(
         self, chunk, lx: int, lz: int, y: int, report: WorkReport

@@ -13,7 +13,7 @@ from collections import deque
 
 import numpy as np
 
-from repro.mlg.blocks import Block, spec
+from repro.mlg.blocks import LIGHT_EMISSION_LUT, OPAQUE_LUT
 from repro.mlg.constants import CHUNK_SIZE, MAX_LIGHT, WORLD_HEIGHT
 from repro.mlg.workreport import Op, WorkReport
 from repro.mlg.world import Chunk, World
@@ -46,10 +46,7 @@ class LightEngine:
 
     def _compute_skylight(self, chunk: Chunk) -> int:
         """Top-down skylight: full light until the first opaque block."""
-        opaque = np.zeros(chunk.blocks.shape, dtype=bool)
-        for block_id, block_spec in _OPACITY_TABLE.items():
-            if block_spec:
-                opaque |= chunk.blocks == block_id
+        opaque = OPAQUE_LUT[chunk.blocks]
         # cumulative "any opaque above" per column, scanning from the top.
         blocked = np.cumsum(opaque[:, :, ::-1], axis=2)[:, :, ::-1] > 0
         chunk.skylight[:] = np.where(blocked, 0, MAX_LIGHT).astype(np.uint8)
@@ -61,13 +58,12 @@ class LightEngine:
     def _seed_blocklight(self, chunk: Chunk) -> int:
         """BFS block light from all emitting blocks inside the chunk."""
         chunk.blocklight[:] = 0
-        emitters = []
-        for block_id, emission in _EMISSION_TABLE.items():
-            xs, zs, ys = np.nonzero(chunk.blocks == block_id)
-            emitters.extend(
-                (int(x), int(z), int(y), emission)
-                for x, z, y in zip(xs, zs, ys)
-            )
+        emission_map = LIGHT_EMISSION_LUT[chunk.blocks]
+        xs, zs, ys = np.nonzero(emission_map)
+        emitters = [
+            (int(x), int(z), int(y), int(emission_map[x, z, y]))
+            for x, z, y in zip(xs, zs, ys)
+        ]
         nodes = 0
         queue: deque[tuple[int, int, int, int]] = deque()
         for lx, lz, y, emission in emitters:
@@ -87,7 +83,7 @@ class LightEngine:
                     and 0 <= ny < WORLD_HEIGHT
                 ):
                     continue
-                if _OPACITY_TABLE.get(int(chunk.blocks[nx, nz, ny]), True):
+                if OPAQUE_LUT[chunk.blocks[nx, nz, ny]]:
                     continue
                 if chunk.blocklight[nx, nz, ny] < next_level:
                     chunk.blocklight[nx, nz, ny] = next_level
@@ -106,10 +102,9 @@ class LightEngine:
         lx, lz = x & 15, z & 15
         column = chunk.blocks[lx, lz]
         light = np.full(WORLD_HEIGHT, MAX_LIGHT, dtype=np.uint8)
-        for y in range(WORLD_HEIGHT - 1, -1, -1):
-            if _OPACITY_TABLE.get(int(column[y]), True):
-                light[: y + 1] = 0
-                break
+        opaque_ys = np.flatnonzero(OPAQUE_LUT[column])
+        if opaque_ys.size:
+            light[: int(opaque_ys[-1]) + 1] = 0
         chunk.skylight[lx, lz] = light
         if report is not None:
             report.add(Op.LIGHTING, WORLD_HEIGHT)
@@ -136,9 +131,7 @@ class LightEngine:
                 max(0, (z & 15) - radius) : (z & 15) + radius + 1,
                 max(0, y - radius) : min(WORLD_HEIGHT, y + radius + 1),
             ]
-            emitting = 0
-            for block_id in _EMISSION_TABLE:
-                emitting += int((region == block_id).sum())
+            emitting = int((LIGHT_EMISSION_LUT[region] > 0).sum())
             local_nodes = region.size // 16 + emitting * 32
             nodes += local_nodes
             if report is not None:
@@ -169,9 +162,3 @@ _NEIGHBORS = (
     (0, 0, -1),
 )
 
-_OPACITY_TABLE = {block_id: spec(block_id).opaque for block_id in Block.ALL}
-_EMISSION_TABLE = {
-    block_id: spec(block_id).light_emission
-    for block_id in Block.ALL
-    if spec(block_id).light_emission > 0
-}

@@ -17,6 +17,7 @@ and long ticks, which maximizes ISR.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from collections.abc import Iterable
 from dataclasses import dataclass, field
 
@@ -92,6 +93,11 @@ class ClockCircuit:
             raise ValueError(
                 "choose one scheduling mode: period_us or period_ticks"
             )
+        if self.period_ticks > 0:
+            # Normalize so the fire condition (tick % period == phase) can
+            # actually match: a phase at or past the period would never
+            # fire, silently muting the clock.
+            self.phase_ticks %= self.period_ticks
 
 
 class RedstoneEngine:
@@ -243,30 +249,38 @@ class RedstoneEngine:
     ) -> int:
         """BFS power propagation along wire from ``source``.
 
-        Wires decrement power by one per block; repeaters re-emit full power
-        after their delay (scheduled as a future event); pistons adjacent to
-        a powered wire extend, and retract when the wire turns off.
+        Wires decrement power by one per block, relaxed to the *maximum*
+        power reachable over any path (a long branch can no longer lock a
+        weaker level into a wire that a shorter branch reaches later);
+        repeaters re-emit full power after their delay (scheduled as a
+        future event); pistons adjacent to a powered wire extend, and
+        retract when the wire turns off.  ``power=0`` depropagates the
+        whole connected net (see :meth:`_depropagate`).
         """
         world = self.world
         if world.get_block(*source) != Block.REDSTONE_WIRE:
             return 0
-        visited = {source}
-        frontier = [(source, power)]
+        if power <= 0:
+            return self._depropagate(source, now_us, report)
+        best: dict[tuple[int, int, int], int] = {source: power}
+        frontier: deque[tuple[int, int, int]] = deque([source])
         evaluations = 0
         while frontier:
-            (x, y, z), level = frontier.pop()
+            pos = frontier.popleft()
+            x, y, z = pos
+            level = best[pos]
             evaluations += 1
-            world.set_aux(x, y, z, level)
             for nx, ny, nz in world.neighbors6(x, y, z):
                 npos = (nx, ny, nz)
                 block = world.get_block(nx, ny, nz)
-                if block == Block.REDSTONE_WIRE and npos not in visited:
-                    visited.add(npos)
-                    if level > 1:
-                        frontier.append((npos, level - 1))
-                    else:
-                        world.set_aux(nx, ny, nz, 0)
-                        evaluations += 1
+                if block == Block.REDSTONE_WIRE:
+                    candidate = level - 1
+                    if candidate > best.get(npos, -1):
+                        if npos not in best:
+                            evaluations += 1
+                        best[npos] = candidate
+                        if candidate > 0:
+                            frontier.append(npos)
                 elif block == Block.REPEATER and level > 0:
                     delay_ticks = max(1, world.get_aux(nx, ny, nz) or 1)
                     # Re-emit at full power on the far side after the delay.
@@ -279,6 +293,50 @@ class RedstoneEngine:
                     evaluations += 1
                 elif block == Block.PISTON:
                     self._set_piston(npos, level > 0, report)
+        for (x, y, z), level in best.items():
+            world.set_aux(x, y, z, level)
+        report.add(Op.REDSTONE, evaluations)
+        return evaluations
+
+    def _depropagate(
+        self,
+        source: tuple[int, int, int],
+        now_us: int,
+        report: WorkReport,
+    ) -> int:
+        """Zero aux power across the whole wire net connected to ``source``.
+
+        The falling edge must walk as far as the rising edge did: zeroing
+        only the source and its direct neighbors left every wire ≥2 blocks
+        away energized forever, so a clock's off phase never actually
+        turned its circuit off.  Repeaters forward the falling edge after
+        their delay; pistons on the net retract.
+        """
+        world = self.world
+        visited = {source}
+        frontier: deque[tuple[int, int, int]] = deque([source])
+        evaluations = 0
+        while frontier:
+            x, y, z = frontier.popleft()
+            evaluations += 1
+            world.set_aux(x, y, z, 0)
+            for nx, ny, nz in world.neighbors6(x, y, z):
+                npos = (nx, ny, nz)
+                block = world.get_block(nx, ny, nz)
+                if block == Block.REDSTONE_WIRE and npos not in visited:
+                    visited.add(npos)
+                    frontier.append(npos)
+                elif block == Block.REPEATER:
+                    delay_ticks = max(1, world.get_aux(nx, ny, nz) or 1)
+                    far = (2 * nx - x, 2 * ny - y, 2 * nz - z)
+                    self._push(
+                        now_us + delay_ticks * REDSTONE_TICK_US,
+                        "wire_power",
+                        (far, 0),
+                    )
+                    evaluations += 1
+                elif block == Block.PISTON:
+                    self._set_piston(npos, False, report)
         report.add(Op.REDSTONE, evaluations)
         return evaluations
 

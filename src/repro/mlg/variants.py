@@ -38,7 +38,10 @@ _BASE_COSTS: dict[str, float] = {
     Op.BLOCK_ADD_REMOVE: 2.2,
     Op.BLOCK_UPDATE: 1.0,
     Op.LIGHTING: 0.5,
-    Op.FLUID: 1.3,
+    # A fluid cell update is an order pricier than a generic block
+    # update: the engine re-reads the full neighborhood and runs the
+    # slope/support search before deciding where to spread.
+    Op.FLUID: 14.0,
     Op.GROWTH: 0.7,
     Op.REDSTONE: 1.15,
     Op.ENTITY_UPDATE: 80.0,

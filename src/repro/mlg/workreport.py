@@ -72,6 +72,7 @@ class Op:
 FIGURE11_BUCKETS = (
     "Block Add/Remove",
     "Block Update",
+    "Fluids",
     "Entities",
     "Other",
 )
@@ -80,7 +81,10 @@ _BUCKET_BY_OP = {
     Op.BLOCK_ADD_REMOVE: "Block Add/Remove",
     Op.BLOCK_UPDATE: "Block Update",
     Op.LIGHTING: "Block Update",
-    Op.FLUID: "Block Update",
+    # Fluid cell updates get their own bucket (§2.2.2's "Fluids"
+    # terrain-simulation workload) so water-dominated scenarios are
+    # attributable in the tick-time distribution.
+    Op.FLUID: "Fluids",
     Op.GROWTH: "Block Update",
     Op.REDSTONE: "Block Update",
     Op.ENTITY_UPDATE: "Entities",

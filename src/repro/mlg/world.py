@@ -266,6 +266,127 @@ class World:
             out[idx] = chunk.blocks[xs[idx] & 15, zs[idx] & 15, ys[idx]]
         return out
 
+    def aux_bulk(
+        self, xs: "np.ndarray", ys: "np.ndarray", zs: "np.ndarray"
+    ) -> "np.ndarray":
+        """Vectorized :meth:`get_aux` for integer coordinate arrays.
+
+        0 outside vertical bounds and in unloaded chunks, matching the
+        scalar read semantics.
+        """
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        zs = np.asarray(zs, dtype=np.int64)
+        out = np.zeros(xs.shape, dtype=np.uint8)
+        in_bounds = (ys >= 0) & (ys < WORLD_HEIGHT)
+        for key, idx in self._chunk_groups(xs, zs):
+            chunk = self._chunks.get(key)
+            if chunk is None:
+                continue
+            idx = idx[in_bounds[idx]]
+            if idx.size == 0:
+                continue
+            out[idx] = chunk.aux[xs[idx] & 15, zs[idx] & 15, ys[idx]]
+        return out
+
+    def set_aux_bulk(
+        self,
+        xs: "np.ndarray",
+        ys: "np.ndarray",
+        zs: "np.ndarray",
+        values: "np.ndarray",
+    ) -> None:
+        """Vectorized :meth:`set_aux`: no change log, marks chunks dirty.
+
+        Positions must be unique (duplicate targets would make the write
+        order unspecified, unlike the scalar last-write-wins loop).
+        """
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        zs = np.asarray(zs, dtype=np.int64)
+        values = np.asarray(values).astype(np.uint8)
+        in_bounds = (ys >= 0) & (ys < WORLD_HEIGHT)
+        for key, idx in self._chunk_groups(xs, zs):
+            idx = idx[in_bounds[idx]]
+            if idx.size == 0:
+                continue
+            chunk = self.ensure_chunk(*key)
+            chunk.aux[xs[idx] & 15, zs[idx] & 15, ys[idx]] = values[idx]
+            chunk.dirty = True
+
+    def set_blocks_bulk(
+        self,
+        xs: "np.ndarray",
+        ys: "np.ndarray",
+        zs: "np.ndarray",
+        block_ids: "np.ndarray",
+        auxs: "np.ndarray | None" = None,
+        log: bool = True,
+    ) -> int:
+        """Vectorized :meth:`set_block`; returns the number of real changes.
+
+        Applies per-chunk array writes, updates heightmaps, and appends
+        change-log entries (in input order) in one pass — the write half
+        of the batched terrain engines.  No-op writes (same block and aux)
+        are skipped exactly like the scalar path.  Positions must be
+        unique; out-of-bounds y positions are ignored.
+        """
+        xs = np.asarray(xs, dtype=np.int64)
+        ys = np.asarray(ys, dtype=np.int64)
+        zs = np.asarray(zs, dtype=np.int64)
+        block_ids = np.asarray(block_ids).astype(np.uint8)
+        if auxs is None:
+            auxs = np.zeros(xs.shape, dtype=np.uint8)
+        else:
+            auxs = np.asarray(auxs).astype(np.uint8)
+        in_bounds = (ys >= 0) & (ys < WORLD_HEIGHT)
+        changed = np.zeros(xs.shape, dtype=np.bool_)
+        old_blocks = np.zeros(xs.shape, dtype=np.uint8)
+        for key, idx in self._chunk_groups(xs, zs):
+            idx = idx[in_bounds[idx]]
+            if idx.size == 0:
+                continue
+            chunk = self.ensure_chunk(*key)
+            lx, lz, yy = xs[idx] & 15, zs[idx] & 15, ys[idx]
+            ob = chunk.blocks[lx, lz, yy]
+            oa = chunk.aux[lx, lz, yy]
+            mask = (ob != block_ids[idx]) | (oa != auxs[idx])
+            if not mask.any():
+                continue
+            widx = idx[mask]
+            changed[widx] = True
+            old_blocks[widx] = ob[mask]
+            wlx, wlz, wy = lx[mask], lz[mask], yy[mask]
+            chunk.blocks[wlx, wlz, wy] = block_ids[widx]
+            chunk.aux[wlx, wlz, wy] = auxs[widx]
+            chunk.dirty = True
+            nonair = block_ids[widx] != Block.AIR
+            if nonair.any():
+                np.maximum.at(
+                    chunk.heightmap,
+                    (wlx[nonair], wlz[nonair]),
+                    (wy[nonair] + 1).astype(np.int16),
+                )
+            if (~nonair).any():
+                # Carving air can lower a column top; rescan only columns
+                # whose recorded top was the carved cell.
+                alx, alz, ay = wlx[~nonair], wlz[~nonair], wy[~nonair]
+                tops = chunk.heightmap[alx, alz]
+                for k in np.flatnonzero(ay == tops - 1):
+                    chunk.update_height_at(int(alx[k]), int(alz[k]))
+        if log and changed.any():
+            for i in np.flatnonzero(changed):
+                self._change_log.append(
+                    BlockChange(
+                        int(xs[i]),
+                        int(ys[i]),
+                        int(zs[i]),
+                        int(old_blocks[i]),
+                        int(block_ids[i]),
+                    )
+                )
+        return int(changed.sum())
+
     def chunks_loaded_bulk(
         self, xs: "np.ndarray", zs: "np.ndarray"
     ) -> "np.ndarray":
@@ -414,10 +535,52 @@ class World:
         """
         if x1 < x0 or y1 < y0 or z1 < z0:
             raise ValueError("fill cuboid corners must be ordered")
+        ylo, yhi = max(y0, 0), min(y1, WORLD_HEIGHT - 1)
+        if ylo > yhi:
+            return 0
         count = 0
-        for x in range(x0, x1 + 1):
-            for z in range(z0, z1 + 1):
-                for y in range(y0, y1 + 1):
-                    if self.set_block(x, y, z, block_id, log=log) is not None:
-                        count += 1
+        logged: list[tuple[int, int, int, int]] = []
+        for cx in range(x0 >> 4, (x1 >> 4) + 1):
+            for cz in range(z0 >> 4, (z1 >> 4) + 1):
+                chunk = self.ensure_chunk(cx, cz)
+                gx0, gx1 = max(x0, cx << 4), min(x1, (cx << 4) + 15)
+                gz0, gz1 = max(z0, cz << 4), min(z1, (cz << 4) + 15)
+                sx = slice(gx0 & 15, (gx1 & 15) + 1)
+                sz = slice(gz0 & 15, (gz1 & 15) + 1)
+                sy = slice(ylo, yhi + 1)
+                sub_b = chunk.blocks[sx, sz, sy]
+                sub_a = chunk.aux[sx, sz, sy]
+                mask = (sub_b != block_id) | (sub_a != 0)
+                n_changed = int(mask.sum())
+                if n_changed == 0:
+                    continue
+                if log:
+                    mlx, mlz, my = np.nonzero(mask)
+                    old = sub_b[mlx, mlz, my]
+                    for lx, lz, y, ob in zip(
+                        mlx.tolist(), mlz.tolist(), my.tolist(), old.tolist()
+                    ):
+                        logged.append((gx0 + lx, gz0 + lz, ylo + y, ob))
+                chunk.blocks[sx, sz, sy] = block_id
+                chunk.aux[sx, sz, sy] = 0
+                chunk.dirty = True
+                if block_id != Block.AIR:
+                    chunk.heightmap[sx, sz] = np.maximum(
+                        chunk.heightmap[sx, sz], np.int16(yhi + 1)
+                    )
+                else:
+                    # Carving air: rebuild the covered columns exactly.
+                    cols = chunk.blocks[sx, sz, :] != Block.AIR
+                    first_from_top = cols[:, :, ::-1].argmax(axis=2)
+                    chunk.heightmap[sx, sz] = np.where(
+                        cols.any(axis=2), WORLD_HEIGHT - first_from_top, 0
+                    ).astype(np.int16)
+                count += n_changed
+        if logged:
+            # Match the scalar loop's change-log order (x, then z, then y).
+            logged.sort()
+            self._change_log.extend(
+                BlockChange(x, y, z, old, block_id)
+                for x, z, y, old in logged
+            )
         return count

@@ -12,6 +12,7 @@ from repro.workloads.constructs import (
 from repro.workloads.worlds import (
     ControlWorkload,
     FarmWorkload,
+    FloodWorkload,
     LagWorkload,
     PlayersWorkload,
     TNTWorkload,
@@ -25,6 +26,7 @@ WORKLOADS: dict[str, type[Workload]] = {
         FarmWorkload,
         LagWorkload,
         PlayersWorkload,
+        FloodWorkload,
     )
 }
 
@@ -44,6 +46,7 @@ def get_workload(name: str, scale: float = 1.0, **kwargs) -> Workload:
 __all__ = [
     "ControlWorkload",
     "FarmWorkload",
+    "FloodWorkload",
     "LagMachine",
     "LagWorkload",
     "PlayersWorkload",

@@ -16,7 +16,7 @@ from __future__ import annotations
 from repro.emulation.swarm import BotSwarm
 from repro.mlg.blocks import Block
 from repro.mlg.server import MLGServer
-from repro.mlg.workreport import WorkReport
+from repro.mlg.workreport import Op, WorkReport
 from repro.mlg.world import World
 from repro.mlg.worldgen import PAPER_SEED, TerrainGenerator
 from repro.workloads.base import Workload
@@ -34,11 +34,19 @@ __all__ = [
     "FarmWorkload",
     "LagWorkload",
     "PlayersWorkload",
+    "FloodWorkload",
 ]
 
 #: TNT ignites this long after the player connects (§3.3.1: "around 20
 #: seconds after a player connects").
 TNT_IGNITION_DELAY_TICKS = 400
+
+#: The Flood dam breaches this long after the player connects (T+10 s).
+FLOOD_BREACH_DELAY_TICKS = 200
+#: After the breach, the dam gate cycles (re-seal / re-open) at this
+#: period so the basin alternates between flooding and draining for the
+#: whole run instead of settling into a quiet steady state.
+FLOOD_GATE_CYCLE_TICKS = 100
 
 
 class ControlWorkload(Workload):
@@ -177,6 +185,138 @@ class LagWorkload(Workload):
             total_gates=int(self.BASE_GATES * self.scale),
         )
         swarm.add_observer()
+
+
+class FloodWorkload(Workload):
+    """Water-heavy terrain simulation: a dam break over a terraced basin.
+
+    A reservoir holds water behind an obsidian gate; at T+10 s the gate is
+    removed and the flood cascades down a terraced basin, stressing the
+    fluid queue and the change-log → packet path.  The gate then cycles
+    (re-seal, re-open) so the basin keeps alternating between flooding
+    and draining — the first workload whose tick time is dominated by the
+    Fluids bucket of the Figure 11 taxonomy.
+    """
+
+    name = "flood"
+    display_name = "Flood"
+    description = "Dam-break reservoir flooding a terraced basin"
+
+    #: Basin length (x), width (z), and reservoir water depth at scale 1.
+    #: The reservoir sits mid-basin with a gate on each face, so a breach
+    #: sends two independent cascade fronts down the two terraced slopes.
+    BASE_LENGTH = 56
+    BASE_WIDTH = 62
+    BASE_DEPTH = 4
+    #: Terrace geometry: past a gate the floor drops TERRACE_DROP blocks
+    #: every TERRACE_RUN blocks of distance, so the cascading flood keeps
+    #: resetting to full spread level instead of dying after 7 blocks.
+    TERRACE_RUN = 2
+    TERRACE_DROP = 2
+    #: Reservoir surface height (terraces descend from here).
+    TOP_FLOOR = 44
+    #: Length of the reservoir pocket between the two gates.
+    RESERVOIR_LEN = 8
+    #: Observer view distance: the basin fills the view; a wide view would
+    #: just add ambient chunk-scan cost that drowns the fluid signal.
+    VIEW_DISTANCE = 2
+
+    def dims(self) -> tuple[int, int, int]:
+        return (
+            max(32, int(self.BASE_LENGTH * self.scale)),
+            max(16, int(self.BASE_WIDTH * self.scale)),
+            max(2, int(self.BASE_DEPTH * self.scale)),
+        )
+
+    def _floor_y(self, x: int, gate_lo: int, gate_hi: int) -> int:
+        """Terraced floor height: descends away from both gates."""
+        if gate_lo <= x <= gate_hi:
+            return self.TOP_FLOOR
+        dist = gate_lo - x if x < gate_lo else x - gate_hi
+        drop = self.TERRACE_DROP * (dist // self.TERRACE_RUN)
+        return max(6, self.TOP_FLOOR - drop)
+
+    def create_world(self, seed: int) -> World:
+        # A constructed canyon, not generated terrain: every interior
+        # surface is a water bed (spawn checks refuse non-solid floors),
+        # so the fluid signal is not drowned by ambient mob population.
+        world = World()
+        length, width, depth = self.dims()
+        x0, z0 = 16, 16
+        top_floor = self.TOP_FLOOR
+        wall_top = top_floor + depth + 6
+        x1, z1 = x0 + length - 1, z0 + width - 1
+        res_lo = x0 + (length - self.RESERVOIR_LEN) // 2
+        res_hi = res_lo + self.RESERVOIR_LEN - 1
+        gate_lo, gate_hi = res_lo - 1, res_hi + 1
+        # Terraced floor with a one-block water bed on every step.
+        for x in range(x0, x1 + 1):
+            floor_y = self._floor_y(x, gate_lo, gate_hi)
+            world.fill(x, 4, z0, x, floor_y, z1, Block.STONE)
+            world.fill(x, floor_y + 1, z0, x, floor_y + 1, z1,
+                       Block.WATER_SOURCE)
+        # Rim walls confine the flood; their kelp cap keeps the wall top
+        # from being a spawnable surface.
+        for wx0, wz0, wx1, wz1 in (
+            (x0 - 1, z0 - 1, x1 + 1, z0 - 1),
+            (x0 - 1, z1 + 1, x1 + 1, z1 + 1),
+            (x0 - 1, z0 - 1, x0 - 1, z1 + 1),
+            (x1 + 1, z0 - 1, x1 + 1, z1 + 1),
+        ):
+            world.fill(wx0, 4, wz0, wx1, wall_top, wz1, Block.OBSIDIAN)
+            world.fill(wx0, wall_top + 1, wz0, wx1, wall_top + 1, wz1,
+                       Block.KELP)
+        # The two dam gates and the reservoir between them.  The kelp cap
+        # above each cycled slab keeps a closed gate's top from being the
+        # one spawnable surface in the workload.
+        gate_y1 = top_floor + depth + 1
+        self._gates = [
+            (gate_lo, top_floor + 1, z0, gate_lo, gate_y1, z1),
+            (gate_hi, top_floor + 1, z0, gate_hi, gate_y1, z1),
+        ]
+        for gate in self._gates:
+            world.fill(*gate, Block.OBSIDIAN)
+            world.fill(gate[0], gate_y1 + 1, z0,
+                       gate[0], gate_y1 + 1, z1, Block.KELP)
+        world.fill(
+            res_lo, top_floor + 1, z0,
+            res_hi, top_floor + depth, z1,
+            Block.WATER_SOURCE,
+        )
+        self._spawn = (float(x0 + length // 2), float(z0 + width // 2))
+        return world
+
+    def install(self, server: MLGServer, swarm: BotSwarm) -> None:
+        gates = tuple(self._gates)
+
+        def cycle_gates(server_: MLGServer, tick_index: int,
+                        report: WorkReport, _gates=gates) -> None:
+            if tick_index < FLOOD_BREACH_DELAY_TICKS:
+                return
+            phase, offset = divmod(
+                tick_index - FLOOD_BREACH_DELAY_TICKS, FLOOD_GATE_CYCLE_TICKS
+            )
+            if offset != 0:
+                return
+            # Even phases open the gates (the breach), odd phases re-seal
+            # them so the basin drains; both mutate the full gate slabs
+            # and wake the adjacent fluid cells.
+            block = Block.AIR if phase % 2 == 0 else Block.OBSIDIAN
+            for gx0, gy0, gz0, gx1, gy1, gz1 in _gates:
+                changed = server_.world.fill(
+                    gx0, gy0, gz0, gx1, gy1, gz1, block, log=True
+                )
+                if changed:
+                    report.add(Op.BLOCK_ADD_REMOVE, changed)
+                for z in range(gz0, gz1 + 1):
+                    for y in range(gy0, gy1 + 1):
+                        server_.fluids.schedule_neighbors(gx0, y, z)
+
+        server.add_tick_hook(cycle_gates)
+        sx, sz = self._spawn
+        swarm.add_observer(
+            spawn_x=sx, spawn_z=sz, view_distance=self.VIEW_DISTANCE
+        )
 
 
 class PlayersWorkload(Workload):

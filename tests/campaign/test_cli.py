@@ -71,6 +71,34 @@ class TestCli:
         # Resuming a finished campaign is a no-op, not an error.
         assert main(["resume", str(tmp_path / "out"), "--quiet"]) == 0
 
+    def test_flood_workload_runs_end_to_end(self, tmp_path):
+        # `repro run` must execute the Flood workload like any other
+        # cell, and its recorded tick distribution must be dominated by
+        # the Fluids bucket (the workload's defining property).
+        spec = {
+            "name": "cli-flood",
+            "servers": ["vanilla"],
+            "workloads": ["flood"],
+            "environments": ["das5-2core"],
+            "iterations": 1,
+            "duration_s": 40.0,
+            "seed": 3,
+            "output_dir": str(tmp_path / "flood-out"),
+        }
+        path = tmp_path / "flood.json"
+        path.write_text(json.dumps(spec))
+        assert main(["run", str(path), "--quiet"]) == 0
+        store = JobStore(tmp_path / "flood-out")
+        (job_id,) = store.completed_ids()
+        (iteration,) = store.load_job(job_id)
+        assert not iteration.crashed
+        active = {
+            bucket: share
+            for bucket, share in iteration.tick_distribution.items()
+            if not bucket.startswith("Wait")
+        }
+        assert max(active, key=active.get) == "Fluids", active
+
     def test_status_on_missing_target_errors(self, tmp_path, capsys):
         assert main(["status", str(tmp_path / "nope")]) == 2
         assert "error:" in capsys.readouterr().err

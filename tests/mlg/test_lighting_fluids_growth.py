@@ -5,7 +5,13 @@ import pytest
 
 from repro.mlg.blocks import Block
 from repro.mlg.constants import MAX_LIGHT, SEA_LEVEL, WORLD_HEIGHT
-from repro.mlg.fluids import WATER_TICK_INTERVAL, FluidEngine
+from repro.mlg.fluids import (
+    LAVA_TICK_INTERVAL,
+    MAX_FLOW_LEVEL,
+    MAX_LAVA_FLOW_LEVEL,
+    WATER_TICK_INTERVAL,
+    FluidEngine,
+)
 from repro.mlg.growth import CROP_MATURE_STAGE, GrowthEngine, KELP_MAX_HEIGHT
 from repro.mlg.lighting import LightEngine
 from repro.mlg.workreport import Op, WorkReport
@@ -154,6 +160,103 @@ class TestFluids:
             fluids.tick(tick, report)
         assert report.get(Op.FLUID) > 0
         assert report.get(Op.BLOCK_ADD_REMOVE) > 0
+
+    def test_stale_queue_entries_are_not_charged(self):
+        # A queued cell that no longer holds fluid when popped is queue
+        # churn, not fluid work; it must not be charged to Op.FLUID.
+        world = _flat_world(ground_y=60)
+        fluids = FluidEngine(world)
+        world.set_block(4, 60, 4, Block.WATER_SOURCE)
+        fluids.schedule(4, 60, 4)
+        world.set_block(4, 60, 4, Block.STONE)  # gone before the tick
+        report = WorkReport()
+        assert fluids.tick(WATER_TICK_INTERVAL, report) == 0
+        assert report.get(Op.FLUID) == 0
+
+    def test_flow_down_refreshes_weaker_flow_below(self):
+        # A lower-level WATER_FLOW directly under a source must be
+        # refreshed to full strength, not left stale because only AIR
+        # below was ever written.
+        world = _flat_world(ground_y=58)
+        world.set_block(4, 60, 4, Block.WATER_SOURCE)
+        world.set_block(4, 59, 4, Block.WATER_FLOW, aux=2)
+        fluids = FluidEngine(world)
+        fluids.schedule(4, 60, 4)
+        report = WorkReport()
+        fluids.tick(WATER_TICK_INTERVAL, report)
+        assert world.get_aux(4, 59, 4) == MAX_FLOW_LEVEL
+
+
+class TestLava:
+    def test_lava_spreads_sideways_with_short_reach(self):
+        world = _flat_world(ground_y=60)
+        fluids = FluidEngine(world)
+        world.set_block(8, 60, 8, Block.LAVA)
+        fluids.schedule(8, 60, 8)
+        report = WorkReport()
+        for tick in range(0, 30 * LAVA_TICK_INTERVAL):
+            fluids.tick(tick, report)
+        assert world.get_block(9, 60, 8) == Block.LAVA
+        assert world.get_aux(9, 60, 8) == MAX_LAVA_FLOW_LEVEL
+        # Shorter reach than water: dead past MAX_LAVA_FLOW_LEVEL blocks.
+        assert world.get_block(8 + MAX_LAVA_FLOW_LEVEL + 1, 60, 8) == Block.AIR
+        assert report.get(Op.FLUID) > 0
+
+    def test_lava_flows_down(self):
+        world = _flat_world(ground_y=60)
+        world.set_block(4, 59, 4, Block.AIR)  # pit
+        world.set_block(4, 60, 4, Block.LAVA)
+        fluids = FluidEngine(world)
+        fluids.schedule(4, 60, 4)
+        report = WorkReport()
+        for tick in range(0, 5 * LAVA_TICK_INTERVAL):
+            fluids.tick(tick, report)
+        assert world.get_block(4, 59, 4) == Block.LAVA
+
+    def test_lava_is_slower_than_water(self):
+        # A lava cell queued at tick 0 does nothing on a plain water tick;
+        # it waits for the (less frequent) lava interval.
+        world = _flat_world(ground_y=60)
+        world.set_block(4, 60, 4, Block.LAVA)
+        fluids = FluidEngine(world)
+        fluids.schedule(4, 60, 4)
+        report = WorkReport()
+        assert fluids.tick(WATER_TICK_INTERVAL, report) == 0
+        assert world.get_block(5, 60, 4) == Block.AIR
+        assert fluids.tick(LAVA_TICK_INTERVAL, report) == 1
+        assert world.get_block(5, 60, 4) == Block.LAVA
+
+    def test_queued_lava_is_not_pure_churn(self):
+        # The old engine enqueued lava cells and silently dropped them in
+        # _update_cell — work was counted with nothing simulated.  Now a
+        # processed lava cell actually spreads.
+        world = _flat_world(ground_y=60)
+        world.set_block(4, 60, 4, Block.LAVA)
+        fluids = FluidEngine(world)
+        fluids.schedule_neighbors(5, 60, 4)
+        assert fluids.pending == 1
+        report = WorkReport()
+        for tick in range(0, 2 * LAVA_TICK_INTERVAL):
+            fluids.tick(tick, report)
+        assert world.count_blocks(Block.LAVA) > 1
+
+    def test_unsupported_lava_flow_clears(self):
+        world = _flat_world(ground_y=60)
+        world.set_block(4, 60, 4, Block.LAVA)
+        world.set_aux(4, 60, 4, 1)  # a flow with no feeding neighbor
+        fluids = FluidEngine(world)
+        fluids.schedule(4, 60, 4)
+        report = WorkReport()
+        for tick in range(0, 2 * LAVA_TICK_INTERVAL):
+            fluids.tick(tick, report)
+        assert world.get_block(4, 60, 4) == Block.AIR
+
+    def test_lava_exerts_no_item_push(self):
+        world = _flat_world(ground_y=60)
+        world.set_block(4, 60, 4, Block.LAVA)
+        world.set_aux(4, 60, 4, 2)
+        fluids = FluidEngine(world)
+        assert fluids.flow_vector(4, 60, 4) == (0.0, 0.0)
 
 
 class TestGrowth:

@@ -70,6 +70,34 @@ class TestClockCircuit:
             engine.tick(tick_index * 50_000, report, tick_index=tick_index)
         assert clock.fired_pulses == 5  # ticks 0, 2, 4, 6, 8
 
+    def test_phase_at_period_is_normalized(self):
+        # tick % period can never equal a phase >= period: before the
+        # normalization such a clock never fired at all.
+        clock = ClockCircuit(period_ticks=4, phase_ticks=4)
+        assert clock.phase_ticks == 0
+        world = _flat_world()
+        engine = RedstoneEngine(world)
+        engine.add_clock(clock)
+        report = WorkReport()
+        for tick_index in range(8):
+            engine.tick(tick_index * 50_000, report, tick_index=tick_index)
+        assert clock.fired_pulses == 2  # ticks 0 and 4
+
+    def test_phase_beyond_period_wraps(self):
+        clock = ClockCircuit(period_ticks=4, phase_ticks=6)
+        assert clock.phase_ticks == 2
+        world = _flat_world()
+        engine = RedstoneEngine(world)
+        engine.add_clock(clock)
+        report = WorkReport()
+        fired_at = []
+        for tick_index in range(9):
+            before = clock.fired_pulses
+            engine.tick(tick_index * 50_000, report, tick_index=tick_index)
+            if clock.fired_pulses > before:
+                fired_at.append(tick_index)
+        assert fired_at == [2, 6]
+
     def test_gate_op_routing(self):
         world = _flat_world()
         engine = RedstoneEngine(world)
@@ -95,6 +123,65 @@ class TestWirePropagation:
         assert world.get_aux(0, 60, 0) == 15
         assert world.get_aux(5, 60, 0) == 10
         assert world.get_aux(14, 60, 0) == 1
+
+    def test_falling_edge_depowers_whole_net(self):
+        # A 12-wire run driven by a game-tick clock: during the off phase
+        # every wire must read aux 0, not just the source's direct
+        # neighbors (the old depropagation stopped at distance 1).
+        world = _flat_world()
+        run_length = 12
+        for i in range(run_length):
+            world.set_block(i, 60, 0, Block.REDSTONE_WIRE)
+        engine = RedstoneEngine(world)
+        engine.add_clock(ClockCircuit(period_ticks=2, sources=[(0, 60, 0)]))
+        report = WorkReport()
+        engine.tick(0, report, tick_index=0)  # on phase
+        assert [world.get_aux(i, 60, 0) for i in range(run_length)] == [
+            15 - i for i in range(run_length)
+        ]
+        engine.tick(50_000, report, tick_index=2)  # off phase
+        assert [world.get_aux(i, 60, 0) for i in range(run_length)] == [
+            0
+        ] * run_length
+
+    def test_branched_net_fully_depowers(self):
+        world = _flat_world()
+        # A T-shaped net: trunk along x, branch along z at x=4.
+        for i in range(10):
+            world.set_block(i, 60, 0, Block.REDSTONE_WIRE)
+        for j in range(1, 8):
+            world.set_block(4, 60, j, Block.REDSTONE_WIRE)
+        engine = RedstoneEngine(world)
+        engine.add_clock(ClockCircuit(period_ticks=2, sources=[(0, 60, 0)]))
+        report = WorkReport()
+        engine.tick(0, report, tick_index=0)
+        assert world.get_aux(4, 60, 7) > 0
+        engine.tick(50_000, report, tick_index=2)
+        assert all(world.get_aux(i, 60, 0) == 0 for i in range(10))
+        assert all(world.get_aux(4, 60, j) == 0 for j in range(1, 8))
+
+    def test_power_takes_strongest_path(self):
+        # Two paths from the source to a junction wire: 3 steps direct,
+        # 7 steps around.  Max-power relaxation must leave the junction
+        # at 15-3 regardless of which branch the walk explores first.
+        world = _flat_world()
+        source = (0, 60, 0)
+        world.set_block(*source, Block.REDSTONE_WIRE)
+        for i in (1, 2):  # short path along x
+            world.set_block(i, 60, 0, Block.REDSTONE_WIRE)
+        junction = (3, 60, 0)
+        world.set_block(*junction, Block.REDSTONE_WIRE)
+        # Long path: up z, across x, back down z into the junction.
+        for j in (1, 2):
+            world.set_block(0, 60, j, Block.REDSTONE_WIRE)
+        for i in (1, 2, 3):
+            world.set_block(i, 60, 2, Block.REDSTONE_WIRE)
+        world.set_block(3, 60, 1, Block.REDSTONE_WIRE)
+        engine = RedstoneEngine(world)
+        engine.add_clock(ClockCircuit(period_ticks=1, sources=[source]))
+        report = WorkReport()
+        engine.tick(0, report, tick_index=0)
+        assert world.get_aux(*junction) == 12
 
     def test_piston_extends_when_powered(self):
         world = _flat_world()

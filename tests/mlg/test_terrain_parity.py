@@ -1,0 +1,261 @@
+"""Scalar-vs-batched parity for the terrain engines and bulk world APIs.
+
+The batched fluid/growth paths must produce the *bit-identical* final
+world state (blocks + aux + heightmap) as the scalar reference on
+recorded scenarios — the contract that makes the numpy batching a pure
+performance change rather than a simulation-model change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mlg.blocks import Block
+from repro.mlg.constants import CHUNK_SIZE, WORLD_HEIGHT
+from repro.mlg.fluids import (
+    LAVA_TICK_INTERVAL,
+    WATER_TICK_INTERVAL,
+    FluidEngine,
+)
+from repro.mlg.growth import GrowthEngine
+from repro.mlg.workreport import Op, WorkReport
+from repro.mlg.world import World
+
+
+def _flat_world(ground_y=40, size=3):
+    world = World()
+    for cx in range(size):
+        for cz in range(size):
+            chunk = world.ensure_chunk(cx, cz)
+            chunk.blocks[:, :, :ground_y] = Block.STONE
+            chunk.recompute_heightmap()
+    return world
+
+
+def _assert_worlds_identical(a: World, b: World):
+    keys_a = {(c.cx, c.cz) for c in a.loaded_chunks()}
+    keys_b = {(c.cx, c.cz) for c in b.loaded_chunks()}
+    assert keys_a == keys_b
+    for key in sorted(keys_a):
+        ca, cb = a.get_chunk(*key), b.get_chunk(*key)
+        np.testing.assert_array_equal(ca.blocks, cb.blocks, err_msg=str(key))
+        np.testing.assert_array_equal(ca.aux, cb.aux, err_msg=str(key))
+        np.testing.assert_array_equal(
+            ca.heightmap, cb.heightmap, err_msg=str(key)
+        )
+
+
+# -- recorded fluid scenarios -------------------------------------------------
+#
+# Each scenario builds a world, seeds the fluid queue, and is run to
+# quiescence on both engines; it must drain its queue within the tick cap
+# so the comparison really is of a settled final state.
+
+
+def _scenario_dam_break(world: World, fluids: FluidEngine):
+    """Water spilling from a ledge down a two-step terrace."""
+    # Carve a stepped pit into the 3x3-chunk slab.
+    world.fill(8, 36, 8, 24, 40, 30, Block.AIR)
+    world.fill(8, 4, 8, 24, 38, 30, Block.STONE)
+    world.fill(14, 4, 8, 24, 36, 30, Block.STONE)
+    world.fill(14, 37, 8, 24, 37, 30, Block.AIR)
+    # A line of sources on the ledge.
+    for z in range(10, 28):
+        world.set_block(8, 41, z, Block.WATER_SOURCE)
+        fluids.schedule(8, 41, z)
+
+
+def _scenario_drain(world: World, fluids: FluidEngine):
+    """An established flow sheet whose feeding sources vanish."""
+    for z in range(12, 24):
+        for i, x in enumerate(range(10, 17)):
+            world.set_block(x, 41, z, Block.WATER_FLOW, aux=7 - i)
+    # Sources fed the sheet from x=9; remove them and wake the edge.
+    for z in range(12, 24):
+        fluids.schedule(10, 41, z)
+
+
+def _scenario_lava_pond(world: World, fluids: FluidEngine):
+    """Lava spreading over a step, plus an unsupported lava flow."""
+    world.fill(20, 41, 20, 26, 41, 26, Block.STONE)  # a raised slab
+    for pos in ((22, 42, 22), (24, 42, 24)):
+        world.set_block(*pos, Block.LAVA)
+        fluids.schedule(*pos)
+    world.set_block(10, 41, 10, Block.LAVA)
+    world.set_aux(10, 41, 10, 1)  # stray flow with no source: must clear
+    fluids.schedule(10, 41, 10)
+
+
+def _scenario_mixed(world: World, fluids: FluidEngine):
+    """Water and lava queues active in the same ticks."""
+    _scenario_drain(world, fluids)
+    _scenario_lava_pond(world, fluids)
+
+
+FLUID_SCENARIOS = {
+    "dam_break": _scenario_dam_break,
+    "drain": _scenario_drain,
+    "lava_pond": _scenario_lava_pond,
+    "mixed": _scenario_mixed,
+}
+
+
+def _run_fluid_scenario(build, batched: bool, max_ticks: int = 4000):
+    world = _flat_world()
+    fluids = FluidEngine(world, batched=batched)
+    build(world, fluids)
+    report = WorkReport()
+    tick = 0
+    while fluids.pending and tick < max_ticks:
+        fluids.tick(tick, report)
+        tick += 1
+    assert fluids.pending == 0, "scenario must reach quiescence"
+    return world, report
+
+
+class TestFluidParity:
+    @pytest.mark.parametrize("name", sorted(FLUID_SCENARIOS))
+    def test_final_state_bit_identical(self, name):
+        build = FLUID_SCENARIOS[name]
+        world_scalar, _ = _run_fluid_scenario(build, batched=False)
+        world_batched, _ = _run_fluid_scenario(build, batched=True)
+        _assert_worlds_identical(world_scalar, world_batched)
+
+    @pytest.mark.parametrize("name", sorted(FLUID_SCENARIOS))
+    def test_scenarios_do_real_work(self, name):
+        _, report = _run_fluid_scenario(FLUID_SCENARIOS[name], batched=True)
+        assert report.get(Op.FLUID) > 0
+        assert report.get(Op.BLOCK_ADD_REMOVE) > 0
+
+
+class TestGrowthParity:
+    def _planted_world(self):
+        world = _flat_world(ground_y=40, size=2)
+        for x in range(0, 32, 2):
+            for z in range(0, 32, 2):
+                world.set_block(x, 40, z, Block.CROP, aux=0)
+        for x in range(1, 32, 8):
+            world.set_block(x, 40, 31, Block.SAPLING)
+            for y in range(40, 52):
+                world.set_block(x + 1, y, 31, Block.WATER_SOURCE)
+            world.set_block(x + 1, 40, 31, Block.KELP)
+        return world
+
+    def test_same_seed_bit_identical(self):
+        report_a, report_b = WorkReport(), WorkReport()
+        world_a = self._planted_world()
+        growth_a = GrowthEngine(world_a, np.random.default_rng(123))
+        world_b = self._planted_world()
+        growth_b = GrowthEngine(world_b, np.random.default_rng(123))
+        matured_a: list = []
+        matured_b: list = []
+        for _ in range(2000):
+            growth_a.tick(report_a)
+            matured_a.extend(growth_a.matured)
+        for _ in range(2000):
+            growth_b.tick_scalar(report_b)
+            matured_b.extend(growth_b.matured)
+        _assert_worlds_identical(world_a, world_b)
+        assert matured_a == matured_b
+        assert report_a.get(Op.GROWTH) == report_b.get(Op.GROWTH)
+        assert report_a.get(Op.BLOCK_ADD_REMOVE) == report_b.get(
+            Op.BLOCK_ADD_REMOVE
+        )
+
+
+# -- bulk world API parity ----------------------------------------------------
+
+
+class TestSetBlocksBulk:
+    def test_matches_scalar_set_block(self):
+        rng = np.random.default_rng(7)
+        n = 400
+        xs = rng.integers(-8, 40, size=n)
+        ys = rng.integers(-2, WORLD_HEIGHT + 2, size=n)
+        zs = rng.integers(-8, 40, size=n)
+        # Unique positions (the bulk API's contract).
+        seen = set()
+        keep = []
+        for i in range(n):
+            key = (int(xs[i]), int(ys[i]), int(zs[i]))
+            if key not in seen:
+                seen.add(key)
+                keep.append(i)
+        xs, ys, zs = xs[keep], ys[keep], zs[keep]
+        blocks = rng.choice(
+            [Block.AIR, Block.STONE, Block.WATER_FLOW, Block.SAND],
+            size=len(xs),
+        )
+        auxs = rng.integers(0, 8, size=len(xs))
+
+        world_a = _flat_world(size=2)
+        world_b = _flat_world(size=2)
+        changed_scalar = 0
+        for x, y, z, b, a in zip(xs, ys, zs, blocks, auxs):
+            if world_a.set_block(int(x), int(y), int(z), int(b),
+                                 aux=int(a)) is not None:
+                changed_scalar += 1
+        changed_bulk = world_b.set_blocks_bulk(xs, ys, zs, blocks, auxs)
+        assert changed_bulk == changed_scalar
+        _assert_worlds_identical(world_a, world_b)
+        # The change log carries the same entries (order may differ
+        # between the scalar input order and chunk grouping — it doesn't:
+        # bulk appends in input order too).
+        assert world_a.drain_changes() == world_b.drain_changes()
+
+    def test_aux_bulk_matches_get_aux(self):
+        world = _flat_world(size=2)
+        world.set_block(3, 41, 3, Block.WATER_FLOW, aux=5)
+        world.set_block(17, 41, 9, Block.WATER_FLOW, aux=2)
+        xs = np.array([3, 17, 100, 3])
+        ys = np.array([41, 41, 41, 300])
+        zs = np.array([3, 9, 100, 3])
+        out = world.aux_bulk(xs, ys, zs)
+        assert out.tolist() == [5, 2, 0, 0]
+
+    def test_set_aux_bulk(self):
+        world = _flat_world(size=2)
+        world.set_block(3, 41, 3, Block.WATER_FLOW, aux=1)
+        world.set_aux_bulk(
+            np.array([3]), np.array([41]), np.array([3]), np.array([6])
+        )
+        assert world.get_aux(3, 41, 3) == 6
+
+
+class TestFillVectorized:
+    def test_matches_scalar_reference(self):
+        def scalar_fill(world, x0, y0, z0, x1, y1, z1, block_id, log):
+            count = 0
+            for x in range(x0, x1 + 1):
+                for z in range(z0, z1 + 1):
+                    for y in range(y0, y1 + 1):
+                        if world.set_block(x, y, z, block_id,
+                                           log=log) is not None:
+                            count += 1
+            return count
+
+        for log in (False, True):
+            world_a = _flat_world(size=2)
+            world_b = _flat_world(size=2)
+            args = (6, 38, 6, 21, 44, 19)
+            count_a = scalar_fill(world_a, *args, Block.TNT, log)
+            count_b = world_b.fill(*args, Block.TNT, log=log)
+            assert count_a == count_b
+            _assert_worlds_identical(world_a, world_b)
+            assert world_a.drain_changes() == world_b.drain_changes()
+
+    def test_air_fill_lowers_heightmap(self):
+        world = _flat_world(size=1, ground_y=40)
+        world.fill(2, 30, 2, 5, 45, 5, Block.AIR)
+        assert world.column_height(3, 3) == 30
+        world_scalar = _flat_world(size=1, ground_y=40)
+        for x in range(2, 6):
+            for z in range(2, 6):
+                for y in range(30, 46):
+                    world_scalar.set_block(x, y, z, Block.AIR)
+        _assert_worlds_identical(world, world_scalar)
+
+    def test_out_of_bounds_y_is_clamped(self):
+        world = World()
+        count = world.fill(0, -5, 0, 1, WORLD_HEIGHT + 5, 1, Block.STONE)
+        assert count == 2 * 2 * WORLD_HEIGHT
+        assert world.column_height(0, 0) == WORLD_HEIGHT

@@ -65,6 +65,7 @@ class TestWorkReport:
         assert bucket_of(Op.PATHFIND_NODE) == "Entities"
         assert bucket_of(Op.REDSTONE) == "Block Update"
         assert bucket_of(Op.LIGHTING) == "Block Update"
+        assert bucket_of(Op.FLUID) == "Fluids"
         assert bucket_of(Op.BLOCK_ADD_REMOVE) == "Block Add/Remove"
         assert bucket_of(Op.CHAT) == "Other"
         assert bucket_of(Op.CHUNK_GEN) == "Other"

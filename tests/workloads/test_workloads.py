@@ -12,6 +12,7 @@ from repro.workloads import (
     WORKLOADS,
     ControlWorkload,
     FarmWorkload,
+    FloodWorkload,
     LagWorkload,
     PlayersWorkload,
     TNTWorkload,
@@ -50,12 +51,15 @@ def _run(server, swarm, seconds):
 
 
 class TestRegistry:
-    def test_all_five_workloads_registered(self):
-        assert set(WORKLOADS) == {"control", "tnt", "farm", "lag", "players"}
+    def test_all_workloads_registered(self):
+        assert set(WORKLOADS) == {
+            "control", "tnt", "farm", "lag", "players", "flood",
+        }
 
     def test_get_workload_by_name(self):
         assert isinstance(get_workload("control"), ControlWorkload)
         assert isinstance(get_workload("TNT"), TNTWorkload)
+        assert isinstance(get_workload("flood"), FloodWorkload)
 
     def test_unknown_workload_raises(self):
         with pytest.raises(ValueError, match="unknown workload"):
@@ -65,9 +69,10 @@ class TestRegistry:
         with pytest.raises(ValueError):
             get_workload("control", scale=0.0)
 
-    def test_display_names_match_paper(self):
+    def test_display_names(self):
         names = {cls.display_name for cls in WORKLOADS.values()}
-        assert names == {"Control", "TNT", "Farm", "Lag", "Players"}
+        # The paper's five workloads plus our fluid-dominated extension.
+        assert names == {"Control", "TNT", "Farm", "Lag", "Players", "Flood"}
 
 
 class TestControl:
@@ -182,6 +187,48 @@ class TestLag:
         base = LagWorkload.BASE_GATES // 16
         for clock in workload.machine.clocks:
             assert clock.gate_count <= base * 2, "no runaway on a fast host"
+
+
+class TestFlood:
+    def test_world_has_reservoir_and_gates(self):
+        workload = FloodWorkload()
+        world = workload.create_world(seed=1)
+        assert world.count_blocks(Block.WATER_SOURCE) > 1000
+        gx0, gy0, gz0, gx1, gy1, gz1 = workload._gates[0]
+        assert world.get_block(gx0, gy0, gz0) == Block.OBSIDIAN
+
+    def test_breach_floods_the_basin(self):
+        workload = FloodWorkload()
+        server, swarm = _setup(workload)
+        world = server.world
+        assert world.count_blocks(Block.WATER_FLOW) == 0
+        _run(server, swarm, 25.0)
+        # The dam opened at T+10 s and the cascade is spreading.
+        assert world.count_blocks(Block.WATER_FLOW) > 500
+        gx0, gy0, gz0, *_ = workload._gates[0]
+        assert world.get_block(gx0, gy0, gz0) in (
+            Block.AIR, Block.WATER_FLOW,
+        )
+
+    def test_no_ambient_mobs(self):
+        # The water-bedded canyon has no spawnable surface, so the fluid
+        # signal is not polluted by the ambient mob population.
+        workload = FloodWorkload()
+        server, swarm = _setup(workload)
+        _run(server, swarm, 30.0)
+        assert server.entities.count(EntityKind.MOB) == 0
+
+    def test_fluids_dominate_tick_distribution(self):
+        workload = FloodWorkload()
+        server, swarm = _setup(workload)
+        _run(server, swarm, 40.0)
+        totals = server.telemetry.bucket_totals_us
+        assert max(totals, key=totals.get) == "Fluids"
+
+    def test_scale_grows_basin(self):
+        small = FloodWorkload().dims()
+        large = FloodWorkload(scale=2.0).dims()
+        assert large[0] > small[0] and large[1] > small[1]
 
 
 class TestPlayers:
