@@ -1,0 +1,173 @@
+"""World persistence: region IO throughput and the autosave tick signature.
+
+Three artifacts:
+
+* region-file write/read throughput (chunks/s and MB/s of raw world
+  state, zlib round-trip verified bit-identical),
+* the Exploration workload's tick-time distribution with persistence on —
+  "Autosave" and "Chunk Load" must both be visible buckets, with the
+  full-flush tick spike surfaced next to the p50/p99 tick durations,
+* warm-boot vs cold-generation connect cost, using the campaign world
+  cache under ``benchmarks/out/world-cache`` (covered by an actions cache
+  key in CI, so repeat runs skip the pre-generation entirely).
+"""
+
+import time
+
+import numpy as np
+
+from conftest import DURATION_S, OUT_DIR, write_artifact
+
+from repro.core.experiment import run_iteration
+from repro.core.visualization import format_table
+from repro.mlg.world import World
+from repro.mlg.worldgen import TerrainGenerator
+from repro.persistence.region import RAW_CHUNK_BYTES
+from repro.persistence.store import RegionStore, world_hash
+from repro.persistence.warmup import ensure_world_cache
+
+#: Chunk square edge for the throughput micro-benchmark (256 chunks).
+THROUGHPUT_EDGE = 16
+
+WORLD_CACHE_ROOT = OUT_DIR / "world-cache"
+
+
+def _bench_world(tmp_path):
+    world = World(generator=TerrainGenerator(seed=42))
+    for cx in range(THROUGHPUT_EDGE):
+        for cz in range(THROUGHPUT_EDGE):
+            world.ensure_chunk(cx, cz)
+    return world
+
+
+def test_region_io_throughput(benchmark, out_dir, tmp_path):
+    world = _bench_world(tmp_path)
+    chunks = list(world.loaded_chunks())
+    raw_mb = len(chunks) * RAW_CHUNK_BYTES / 1e6
+
+    def write_once():
+        store = RegionStore(tmp_path / "store")
+        store.save_chunks(chunks)
+        return store
+
+    store = benchmark.pedantic(write_once, rounds=1, iterations=1)
+    t0 = time.perf_counter()
+    write_once()
+    write_s = time.perf_counter() - t0
+
+    reader = RegionStore(tmp_path / "store")
+    t0 = time.perf_counter()
+    restored = World(loader=reader.load_chunk)
+    for cx, cz in sorted(reader.chunk_positions()):
+        restored.ensure_chunk(cx, cz)
+    read_s = time.perf_counter() - t0
+    assert world_hash(restored) == world_hash(world)  # lossless round trip
+
+    rows = [
+        ["chunks", f"{len(chunks)}"],
+        ["raw world state", f"{raw_mb:.1f} MB"],
+        ["on disk (zlib)", f"{store.bytes_written / 1e6:.2f} MB"],
+        [
+            "write",
+            f"{len(chunks) / write_s:,.0f} chunks/s "
+            f"({raw_mb / write_s:.0f} MB/s raw)",
+        ],
+        [
+            "read+inflate+relight-free load",
+            f"{len(chunks) / read_s:,.0f} chunks/s "
+            f"({raw_mb / read_s:.0f} MB/s raw)",
+        ],
+    ]
+    text = format_table(["metric", "value"], rows)
+    text += "\n\nround trip verified bit-identical via world_hash."
+    write_artifact("persistence_region_throughput.txt", text)
+
+
+def test_autosave_spike_tick_distribution(benchmark, out_dir, tmp_path):
+    result = benchmark.pedantic(
+        run_iteration,
+        args=("exploration", "vanilla", "das5-2core"),
+        kwargs=dict(
+            duration_s=DURATION_S,
+            seed=7,
+            world_dir=str(tmp_path / "world"),
+            autosave_interval_s=10.0,
+            autosave_flush_every=3,
+            max_loaded_chunks=200,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    shares = result.tick_distribution
+    active = {
+        bucket: share
+        for bucket, share in shares.items()
+        if not bucket.startswith("Wait")
+    }
+    world = result.telemetry["world"]
+    durs = np.asarray(result.tick_durations_ms)
+    rows = [
+        [bucket, f"{100 * share:.2f}%"]
+        for bucket, share in sorted(active.items(), key=lambda kv: -kv[1])
+    ]
+    text = format_table(["bucket", "share of non-wait tick time"], rows)
+    text += "\n" + format_table(
+        ["tick metric", "value"],
+        [
+            ["p50", f"{np.percentile(durs, 50):.2f} ms"],
+            ["p99", f"{np.percentile(durs, 99):.2f} ms"],
+            ["max (flush spike)", f"{durs.max():.2f} ms"],
+            ["autosaves / full flushes",
+             f"{world['autosaves']} / {world['full_flushes']}"],
+            ["chunks saved/evicted/reloaded",
+             f"{world['chunks_saved']} / {world['chunks_evicted']} / "
+             f"{world['chunks_loaded_from_disk']}"],
+            ["loaded chunks peak -> final",
+             f"{world['peak_loaded_chunks']} -> "
+             f"{world['final_loaded_chunks']}"],
+        ],
+    )
+    text += (
+        "\n\nexpected: Autosave and Chunk Load are visible buckets; the"
+        " periodic full flush drives the max tick well past the p50; the"
+        " loaded-chunk count plateaus under eviction."
+    )
+    write_artifact("persistence_autosave_spikes.txt", text)
+    assert shares.get("Autosave", 0.0) > 0.0
+    assert shares.get("Chunk Load", 0.0) > 0.0
+    assert world["full_flushes"] >= 1
+    assert durs.max() > 2.0 * np.percentile(durs, 50)
+
+
+def test_warm_boot_vs_cold_generation(benchmark, out_dir, tmp_path):
+    cache = ensure_world_cache(WORLD_CACHE_ROOT, "control", 1.0, 11)
+
+    def boots():
+        cold = run_iteration(
+            "control", "vanilla", "das5-2core",
+            duration_s=3.0, seed=11, world_dir=str(tmp_path / "cold"),
+        )
+        warm = run_iteration(
+            "control", "vanilla", "das5-2core",
+            duration_s=3.0, seed=11, world_cache_dir=str(cache),
+        )
+        return cold, warm
+
+    cold, warm = benchmark.pedantic(boots, rounds=1, iterations=1)
+    cold_w, warm_w = cold.telemetry["world"], warm.telemetry["world"]
+    rows = [
+        ["initial world hash",
+         f"{cold_w['initial_hash']} == {warm_w['initial_hash']}"],
+        ["cold connect tick", f"{cold.tick_durations_ms[0]:.1f} ms"],
+        ["warm connect tick", f"{warm.tick_durations_ms[0]:.1f} ms"],
+        ["chunks from disk (warm)",
+         f"{warm_w['chunks_loaded_from_disk']}"],
+    ]
+    text = format_table(["metric", "value"], rows)
+    text += (
+        "\n\nexpected: identical initial world hash; the warm boot's"
+        " connect burst is several times cheaper than cold generation."
+    )
+    write_artifact("persistence_warm_boot.txt", text)
+    assert warm_w["initial_hash"] == cold_w["initial_hash"]
+    assert warm.tick_durations_ms[0] < cold.tick_durations_ms[0]

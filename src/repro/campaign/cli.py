@@ -6,10 +6,13 @@ Usage (also via the ``repro`` console script)::
     python -m repro resume campaign.yaml --jobs 4
     python -m repro status meterstick-out/
     python -m repro export meterstick-out/ --out analysis/
+    python -m repro world prepare worlds/control --workload control
+    python -m repro world inspect worlds/control
 
 ``run``/``resume`` take a campaign spec file (YAML or JSON);
 ``status``/``export`` take either a spec file or a campaign output
-directory (one containing a ``manifest.json``).
+directory (one containing a ``manifest.json``); ``world`` manages the
+region-file world directories used for warm boots and persistence runs.
 """
 
 from __future__ import annotations
@@ -69,6 +72,34 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print an ASCII tick-duration box plot per server",
     )
+
+    world = sub.add_parser(
+        "world", help="prepare and inspect on-disk world directories"
+    )
+    world_sub = world.add_subparsers(dest="world_command", required=True)
+    prepare = world_sub.add_parser(
+        "prepare",
+        help="pre-generate a workload world into a region-file store",
+    )
+    prepare.add_argument("out_dir", help="world directory to write")
+    prepare.add_argument(
+        "--workload", default="control", help="workload whose world to build"
+    )
+    prepare.add_argument("--scale", type=float, default=1.0)
+    prepare.add_argument("--seed", type=int, default=0)
+    prepare.add_argument(
+        "--radius",
+        type=int,
+        default=None,
+        metavar="CHUNKS",
+        help="pre-generation radius around spawn, in chunks "
+        "(default: view distance + 2)",
+    )
+    inspect_ = world_sub.add_parser(
+        "inspect",
+        help="scan a world directory: chunk counts, damage, content hash",
+    )
+    inspect_.add_argument("world_dir", help="world directory to scan")
     return parser
 
 
@@ -249,6 +280,63 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_world(args: argparse.Namespace) -> int:
+    from repro.persistence.warmup import (
+        DEFAULT_PREPARE_RADIUS,
+        inspect_world,
+        prepare_world,
+    )
+
+    if args.world_command == "prepare":
+        radius = (
+            DEFAULT_PREPARE_RADIUS if args.radius is None else args.radius
+        )
+        report = prepare_world(
+            args.out_dir,
+            args.workload,
+            scale=args.scale,
+            seed=args.seed,
+            radius=radius,
+        )
+        print(
+            f"Prepared {report.workload!r} (scale {report.scale:g}, seed "
+            f"{report.seed}) into {report.path}: {report.chunks} chunk(s), "
+            f"{report.bytes_written / 1024:.1f} KiB, "
+            f"hash {report.world_hash}"
+        )
+        return 0
+    if args.world_command == "inspect":
+        info = inspect_world(args.world_dir)
+        print(f"World directory {info['path']}")
+        print(
+            f"  {info['chunks']} chunk(s) in {info['regions']} region "
+            f"file(s), {info['total_bytes'] / 1024:.1f} KiB on disk"
+        )
+        print(f"  content hash: {info['world_hash']}")
+        manifest = info["manifest"]
+        hash_mismatch = False
+        if manifest:
+            hash_mismatch = manifest.get("world_hash") != info["world_hash"]
+            match = "DOES NOT MATCH" if hash_mismatch else "matches"
+            print(
+                f"  manifest: workload={manifest.get('workload')!r} "
+                f"scale={manifest.get('scale')} seed={manifest.get('seed')} "
+                f"(recorded hash {match})"
+            )
+        for name in info["corrupt_regions"]:
+            print(f"  CORRUPT region: {name}")
+        for entry in info["corrupt_entries"]:
+            print(
+                f"  CORRUPT chunk ({entry['cx']}, {entry['cz']}): "
+                f"{entry['reason']}"
+            )
+        damaged = bool(
+            info["corrupt_regions"] or info["corrupt_entries"]
+        )
+        return 1 if damaged or hash_mismatch else 0
+    raise AssertionError(f"unhandled world command {args.world_command!r}")
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
@@ -260,6 +348,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_status(args)
         if args.command == "export":
             return _cmd_export(args)
+        if args.command == "world":
+            return _cmd_world(args)
     except (FileNotFoundError, FileExistsError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

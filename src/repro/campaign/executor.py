@@ -175,6 +175,8 @@ class CampaignExecutor:
                 "different campaign spec; choose a fresh output_dir"
             )
         self.store.write_manifest(self.spec, plan)
+        if self.spec.warm_world_cache:
+            self._ensure_world_caches(plan)
         pending = [job for job in plan if job.job_id not in completed]
         n_total = len(plan)
         n_done = n_total - len(pending)
@@ -197,6 +199,21 @@ class CampaignExecutor:
             if self.progress is not None:
                 self.progress(job, n_done, n_total)
         return self.store.merge(plan)
+
+    def _ensure_world_caches(self, plan: list[Job]) -> None:
+        """Pre-generate each (workload, scale) world once, before any
+        worker starts: all iterations of all servers then warm-boot from
+        the same on-disk snapshot (``cell_config`` points their
+        ``world_cache_dir`` at these directories).  Idempotent — an
+        existing snapshot with a matching manifest is kept, so resumes
+        and restored CI caches skip the generation cost."""
+        from repro.persistence.warmup import ensure_world_cache
+
+        cache_root = Path(self.spec.output_dir) / "world-cache"
+        for workload, scale in sorted(
+            {(job.workload, job.scale) for job in plan}
+        ):
+            ensure_world_cache(cache_root, workload, scale, self.spec.seed)
 
     def _run_parallel(self, payloads: list[dict]):
         """Fan pending jobs out over a process pool, yielding completions.

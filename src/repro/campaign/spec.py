@@ -48,6 +48,9 @@ _OVERRIDABLE_FIELDS = frozenset(
         "inter_iteration_gap_s",
         "ram_gb",
         "retain_raw",
+        "autosave_interval_s",
+        "autosave_flush_every",
+        "max_loaded_chunks",
     }
 )
 
@@ -106,6 +109,19 @@ class CampaignSpec:
     #: streams bounded-memory telemetry only.
     retain_raw: bool = True
 
+    # -- world persistence (applied to every cell; see MeterstickConfig) --
+    #: Root of the live world directories: each cell gets its own subtree
+    #: (and each iteration its own directory) beneath it.
+    world_dir: str | None = None
+    autosave_interval_s: float = 45.0
+    autosave_flush_every: int = 6
+    max_loaded_chunks: int | None = None
+    #: Pre-generate each (workload, scale) world once under
+    #: ``<output_dir>/world-cache/`` and warm-boot every iteration from
+    #: it: faster campaigns, bit-identical initial worlds.  Pins each
+    #: cell's terrain seed to the campaign ``seed``.
+    warm_world_cache: bool = False
+
     output_dir: str = "meterstick-out"
     #: Default worker-process count for the executor (CLI ``--jobs`` wins).
     jobs: int = 1
@@ -150,6 +166,21 @@ class CampaignSpec:
             raise ValueError(f"duration must be positive: {self.duration_s!r}")
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1: {self.jobs!r}")
+        if self.autosave_interval_s <= 0:
+            raise ValueError(
+                f"autosave_interval_s must be positive: "
+                f"{self.autosave_interval_s!r}"
+            )
+        if self.autosave_flush_every < 0:
+            raise ValueError(
+                f"autosave_flush_every must be >= 0: "
+                f"{self.autosave_flush_every!r}"
+            )
+        if self.max_loaded_chunks is not None and self.max_loaded_chunks < 1:
+            raise ValueError(
+                f"max_loaded_chunks must be >= 1 (or None): "
+                f"{self.max_loaded_chunks!r}"
+            )
         cell_fields = {attr for _, attr in MATRIX_AXES}
         for index, override in enumerate(self.overrides):
             if not isinstance(override, dict) or set(override) - {
@@ -204,6 +235,22 @@ class CampaignSpec:
 
     def cell_config(self, cell: CampaignCell) -> MeterstickConfig:
         """Materialize the plain single-cell config the runner executes."""
+        # Live world directories must be disjoint per cell (chains run in
+        # parallel); the runner adds the per-iteration leaf below this.
+        world_dir = self.world_dir
+        if world_dir is not None:
+            world_dir = str(
+                Path(world_dir) / cell.key().replace("|", "_")
+            )
+        world_cache_dir = None
+        if self.warm_world_cache:
+            from repro.persistence.warmup import world_cache_key
+
+            world_cache_dir = str(
+                Path(self.output_dir)
+                / "world-cache"
+                / world_cache_key(cell.workload, cell.scale, self.seed)
+            )
         kwargs: dict = dict(
             servers=[cell.server],
             world=cell.workload,
@@ -218,6 +265,11 @@ class CampaignSpec:
             warm_machines=self.warm_machines,
             retain_raw=self.retain_raw,
             output_dir=self.output_dir,
+            world_dir=world_dir,
+            world_cache_dir=world_cache_dir,
+            autosave_interval_s=self.autosave_interval_s,
+            autosave_flush_every=self.autosave_flush_every,
+            max_loaded_chunks=self.max_loaded_chunks,
         )
         for override in self.overrides:
             where = override.get("where", {})

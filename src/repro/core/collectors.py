@@ -167,10 +167,16 @@ class SystemMetricsCollector:
         self._last_cpu_used = cpu_used
         self._last_wall = wall
         stats = server.net.stats
+        # With chunk eviction enabled the heap itself saws: streaming
+        # bounds ``world.nbytes``, so ``memory_bytes`` already rises with
+        # loading and drops at eviction.  Layering the synthetic GC
+        # sawtooth on top would drown that real signal, so it only
+        # stands in when the world can just grow monotonically.
+        evicting = getattr(server, "eviction_enabled", False)
         for t_us in due:
             # JVM heap sawtooth: allocation climbs, young-GC drops it back.
             self._gc_phase = (self._gc_phase + 0.13) % 1.0
-            heap_jitter = int(120e6 * self._gc_phase)
+            heap_jitter = 0 if evicting else int(120e6 * self._gc_phase)
             self._observe(
                 SystemSample(
                     t_us=t_us,

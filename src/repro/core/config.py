@@ -68,6 +68,21 @@ class MeterstickConfig:
     iterations: int = 1
     scale: float = 1.0
 
+    # -- world persistence & chunk streaming -------------------------------
+    #: Live world directory (region files; autosave writes, reloads read).
+    #: ``None`` (the default) keeps the purely in-memory world.
+    world_dir: str | None = None
+    #: Read-only warm-boot source: chunks missing from ``world_dir`` load
+    #: from here before falling back to generation.  Campaigns fill it
+    #: via the executor's warm world cache; iterations never write to it.
+    world_cache_dir: str | None = None
+    #: Simulated seconds between incremental autosaves.
+    autosave_interval_s: float = 45.0
+    #: Every Nth autosave is a save-all full flush (0 disables flushes).
+    autosave_flush_every: int = 6
+    #: Evict clean out-of-view chunks beyond this count (None: no cap).
+    max_loaded_chunks: int | None = None
+
     # -- reproducibility ------------------------------------------------------
     seed: int = 0
     #: Simulated idle seconds between iterations (teardown + setup).
@@ -111,6 +126,21 @@ class MeterstickConfig:
             raise ValueError(f"scale must be positive: {self.scale!r}")
         if self.ram_gb <= 0:
             raise ValueError(f"ram_gb must be positive: {self.ram_gb!r}")
+        if self.autosave_interval_s <= 0:
+            raise ValueError(
+                f"autosave_interval_s must be positive: "
+                f"{self.autosave_interval_s!r}"
+            )
+        if self.autosave_flush_every < 0:
+            raise ValueError(
+                f"autosave_flush_every must be >= 0: "
+                f"{self.autosave_flush_every!r}"
+            )
+        if self.max_loaded_chunks is not None and self.max_loaded_chunks < 1:
+            raise ValueError(
+                f"max_loaded_chunks must be >= 1 (or None): "
+                f"{self.max_loaded_chunks!r}"
+            )
         lo, hi = self.jmx_port_range
         if lo > hi:
             raise ValueError("jmx_port_range must be (low, high)")

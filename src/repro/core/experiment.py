@@ -11,7 +11,9 @@ which burstable credits accrue.
 
 from __future__ import annotations
 
+import shutil
 from collections.abc import Callable
+from pathlib import Path
 
 import numpy as np
 
@@ -43,6 +45,12 @@ def run_iteration(
     clock: SimClock | None = None,
     iteration: int = 0,
     retain_raw: bool = True,
+    world_dir: str | None = None,
+    world_cache_dir: str | None = None,
+    autosave_interval_s: float = 45.0,
+    autosave_flush_every: int = 6,
+    max_loaded_chunks: int | None = None,
+    world_seed: int | None = None,
 ) -> IterationResult:
     """Run one iteration and return its measurements.
 
@@ -52,6 +60,13 @@ def run_iteration(
     dropped as they stream through the telemetry layer: the result then
     carries only the O(1) telemetry snapshot (exact counts, moments,
     exceedance fractions, sketched quantiles, and the recent tail).
+
+    The persistence knobs mirror :class:`MeterstickConfig`: ``world_dir``
+    enables region-file autosave/reload, ``world_cache_dir`` warm-boots
+    missing chunks from a read-only snapshot, ``max_loaded_chunks``
+    bounds residency via eviction.  ``world_seed`` decouples the world's
+    terrain seed from the iteration seed — a warm-cached campaign pins it
+    to the campaign seed so every iteration boots the same world.
     """
     env = get_environment(environment_name)
     if machine is None:
@@ -64,7 +79,9 @@ def run_iteration(
         workload_kwargs["n_bots"] = n_bots
         workload_kwargs["behavior"] = behavior
     workload = get_workload(workload_name, scale=scale, **workload_kwargs)
-    world = workload.create_world(seed)
+    world = workload.create_world(
+        seed if world_seed is None else world_seed
+    )
     server = MLGServer(
         server_name,
         machine,
@@ -72,10 +89,25 @@ def run_iteration(
         clock=clock,
         seed=seed,
         retain_raw=retain_raw,
+        world_dir=world_dir,
+        world_cache_dir=world_cache_dir,
+        autosave_interval_s=autosave_interval_s,
+        autosave_flush_every=autosave_flush_every,
+        max_loaded_chunks=max_loaded_chunks,
     )
     rng = np.random.default_rng(seed ^ 0x5EED)
     swarm = BotSwarm(server, env.network, rng)
     workload.install(server, swarm)
+    # With persistence in play, fingerprint the post-install world: warm
+    # and cold boots of the same world seed must agree bit-for-bit.  The
+    # hash covers the connect-time view: every workload connects at
+    # least one zero-delay player inside ``install``, whose view load is
+    # exactly the chunk set a warm boot serves from disk.
+    initial_world_hash = None
+    if server.lifecycle is not None:
+        from repro.persistence.store import world_hash
+
+        initial_world_hash = f"{world_hash(world):08x}"
 
     externalizer = MetricExternalizer(server)
     system = SystemMetricsCollector(server)
@@ -102,6 +134,11 @@ def run_iteration(
             include_tail=False
         ),
     }
+    if server.lifecycle is not None:
+        telemetry["world"] = {
+            "initial_hash": initial_world_hash,
+            **server.lifecycle.stats(),
+        }
     return IterationResult(
         server=server_name,
         workload=workload_name,
@@ -152,6 +189,22 @@ def run_server_chain(
     iterations: list[IterationResult] = []
     for iteration in range(config.iterations):
         seed = config.iteration_seed(server_name, iteration)
+        # Live world directories are per (server, iteration): iterations
+        # must not inherit each other's terrain mutations, and parallel
+        # chains must not interleave region writes.  A leftover directory
+        # from a killed attempt of this same iteration is wiped, so a
+        # resumed job never boots from partially-simulated terrain.
+        # (Direct `run_iteration(world_dir=...)` calls keep the opposite
+        # behaviour on purpose: an existing world directory is a feature
+        # — booting from a saved world.)
+        world_dir = None
+        if config.world_dir is not None:
+            iteration_dir = (
+                Path(config.world_dir) / server_name / f"iter{iteration:03d}"
+            )
+            if iteration_dir.exists():
+                shutil.rmtree(iteration_dir)
+            world_dir = str(iteration_dir)
         # Machine throttle counts are cumulative across the chain; bracket
         # the iteration to attribute only its own throttled executions.
         throttled_before = machine.throttled_executions
@@ -168,6 +221,16 @@ def run_server_chain(
             clock=clock,
             iteration=iteration,
             retain_raw=config.retain_raw,
+            world_dir=world_dir,
+            world_cache_dir=config.world_cache_dir,
+            autosave_interval_s=config.autosave_interval_s,
+            autosave_flush_every=config.autosave_flush_every,
+            max_loaded_chunks=config.max_loaded_chunks,
+            # A warm cache pins the terrain seed to the campaign seed so
+            # every iteration/server boots the identical on-disk world.
+            world_seed=(
+                config.seed if config.world_cache_dir is not None else None
+            ),
         )
         iteration_result.throttled_ticks = (
             machine.throttled_executions - throttled_before

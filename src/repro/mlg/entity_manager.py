@@ -135,6 +135,16 @@ class EntityManager:
         """Live entity count — an array reduction over the store."""
         return self.store.count(None if kind is None else KIND_CODE[kind])
 
+    def occupied_chunks(self) -> set[tuple[int, int]]:
+        """Chunks containing live entities (anchors for eviction)."""
+        store = self.store
+        slots = np.flatnonzero(store.alive)
+        if slots.size == 0:
+            return set()
+        cxs = np.floor(store.x[slots]).astype(np.int64) >> 4
+        czs = np.floor(store.z[slots]).astype(np.int64) >> 4
+        return set(zip(cxs.tolist(), czs.tolist()))
+
     def moved_count(self) -> int:
         """Live entities that moved this tick — an array reduction."""
         return self.store.moved_count()

@@ -102,6 +102,15 @@ class FluidEngine:
             elif block == Block.LAVA:
                 self._schedule_lava(nx, ny, nz)
 
+    def queued_chunks(self) -> set[tuple[int, int]]:
+        """Chunks holding scheduled fluid cells (anchors for eviction)."""
+        chunks: set[tuple[int, int]] = set()
+        for x, _y, z in self._queued:
+            chunks.add((x >> 4, z >> 4))
+        for x, _y, z in self._lava_queued:
+            chunks.add((x >> 4, z >> 4))
+        return chunks
+
     @property
     def pending(self) -> int:
         return len(self._queue) + len(self._lava_queue)

@@ -107,6 +107,14 @@ class GameLoop:
         report.add(Op.CHUNK_TICK, server.world.loaded_chunk_count)
         report.add(Op.SPAWN_SCAN, server.world.loaded_chunk_count)
 
+        # 5.5. Chunk lifecycle: incremental autosave (Op.CHUNK_SAVE →
+        # "Autosave"), periodic full flush (the save-all tick spike), and
+        # view-driven eviction so the loaded-chunk count plateaus.
+        if server.lifecycle is not None:
+            server.lifecycle.tick(
+                self.tick_index, report, server.players.view_anchors()
+            )
+
         # 6. Workload hooks (ignition timers, farm harvesters, ...).
         for hook in server.tick_hooks:
             hook(server, self.tick_index, report)

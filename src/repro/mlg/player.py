@@ -95,6 +95,11 @@ class PlayerHandler:
     def positions(self) -> list[tuple[float, float, float]]:
         return [(p.x, p.y, p.z) for p in self.players.values()]
 
+    def view_anchors(self) -> list[tuple[tuple[int, int], int]]:
+        """Each player's ``(chunk_pos, view_distance)`` — what the chunk
+        lifecycle must keep resident."""
+        return [(p.chunk_pos, p.view_distance) for p in self.players.values()]
+
     def _load_view(self, conn: PlayerConnection, report: WorkReport) -> int:
         """Load/generate every chunk within view distance; returns new count."""
         ccx, ccz = conn.chunk_pos
@@ -102,15 +107,26 @@ class PlayerHandler:
         newly_loaded = 0
         for cx in range(ccx - view, ccx + view + 1):
             for cz in range(ccz - view, ccz + view + 1):
-                if (cx, cz) in conn.loaded_chunks:
+                # A chunk this player already has is skipped only while it
+                # is still resident: one the lifecycle evicted since must
+                # stream back in (and be re-sent) on re-entry.  Without
+                # eviction nothing is ever unloaded, so this check keeps
+                # the seed path untouched.
+                if (cx, cz) in conn.loaded_chunks and self.world.has_chunk(
+                    cx, cz
+                ):
                     continue
-                was_present = self.world.has_chunk(cx, cz)
-                chunk = self.world.ensure_chunk(cx, cz)
-                if not was_present:
+                chunk, source = self.world.ensure_chunk_tracked(cx, cz)
+                if source == "generated":
                     report.add(Op.CHUNK_GEN)
                     self.lights.light_chunk(chunk, report)
-                else:
+                elif source == "loaded":
+                    # Streamed back in from a region file (relit by the
+                    # lifecycle loader; the op's cost covers the relight).
                     report.add(Op.CHUNK_LOAD)
+                else:
+                    # Already resident: only view attachment and packets.
+                    report.add(Op.CHUNK_VIEW)
                 conn.loaded_chunks.add((cx, cz))
                 self.net.send_counted(
                     conn.client_id, PacketCategory.CHUNK_DATA, 1, report

@@ -142,6 +142,19 @@ class RedstoneEngine:
     def pending_events(self) -> int:
         return len(self._heap)
 
+    def anchored_chunks(self) -> set[tuple[int, int]]:
+        """Chunks referenced by live redstone state (eviction anchors):
+        clock wire nets and pistons, scheduled event positions, and
+        registered observers."""
+        positions: set[tuple[int, int, int]] = set(self._observers)
+        for clock in self._clocks:
+            positions.update(clock.sources)
+            positions.update(clock.pistons)
+        for _, _, _, (kind, payload) in self._heap:
+            if kind != "clock":
+                positions.add(payload[0])
+        return {(x >> 4, z >> 4) for x, _y, z in positions}
+
     def _push(self, due_us: int, kind: str, payload: tuple) -> None:
         self._seq += 1
         heapq.heappush(self._heap, (int(due_us), self._seq, 0, (kind, payload)))

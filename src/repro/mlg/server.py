@@ -13,7 +13,11 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.mlg.chat import ChatSystem
-from repro.mlg.constants import DEFAULT_VIEW_DISTANCE, TICK_BUDGET_US
+from repro.mlg.constants import (
+    DEFAULT_VIEW_DISTANCE,
+    TICK_BUDGET_US,
+    TICK_RATE_HZ,
+)
 from repro.mlg.entity_manager import EntityManager
 from repro.mlg.fluids import FluidEngine
 from repro.mlg.gameloop import GameLoop, TickRecord
@@ -28,6 +32,8 @@ from repro.mlg.tnt import TNTSystem
 from repro.mlg.variants import VariantProfile, get_variant
 from repro.mlg.workreport import WorkReport
 from repro.mlg.world import World
+from repro.persistence.lifecycle import ChunkLifecycle
+from repro.persistence.store import RegionStore
 from repro.simtime import SimClock, s_to_us
 from repro.telemetry.tap import ServerTelemetry
 
@@ -35,6 +41,10 @@ __all__ = ["MLGServer"]
 
 #: Autosave interval (simulated seconds) — feeds the disk-I/O metric.
 AUTOSAVE_INTERVAL_S = 45.0
+
+#: Every Nth autosave is a full flush (the save-all tick spike) when
+#: region-file persistence is enabled.
+DEFAULT_FLUSH_EVERY = 6
 
 #: Hook signature: (server, tick_index, report) -> None.
 TickHook = Callable[["MLGServer", int, WorkReport], None]
@@ -52,6 +62,11 @@ class MLGServer:
         seed: int = 0,
         retain_raw: bool = True,
         telemetry_window: int = 100,
+        world_dir: str | None = None,
+        world_cache_dir: str | None = None,
+        autosave_interval_s: float = AUTOSAVE_INTERVAL_S,
+        autosave_flush_every: int = DEFAULT_FLUSH_EVERY,
+        max_loaded_chunks: int | None = None,
     ) -> None:
         self.variant = (
             get_variant(variant) if isinstance(variant, str) else variant
@@ -89,6 +104,31 @@ class MLGServer:
         )
         self.loop = GameLoop(self)
 
+        #: Chunk persistence/streaming — ``None`` (the default) keeps the
+        #: purely in-memory world of the seed simulation, bit-identically.
+        self.lifecycle: ChunkLifecycle | None = None
+        if (
+            world_dir is not None
+            or world_cache_dir is not None
+            or max_loaded_chunks is not None
+        ):
+            self.lifecycle = ChunkLifecycle(
+                self.world,
+                store=RegionStore(world_dir) if world_dir is not None else None,
+                cache=(
+                    RegionStore(world_cache_dir)
+                    if world_cache_dir is not None
+                    else None
+                ),
+                autosave_interval_ticks=max(
+                    1, round(autosave_interval_s * TICK_RATE_HZ)
+                ),
+                full_flush_every=autosave_flush_every,
+                max_loaded_chunks=max_loaded_chunks,
+                relight=self.lights.light_chunk,
+                pinned=self.simulation_anchor_chunks,
+            )
+
         self.tick_hooks: list[TickHook] = []
         self.running = False
         self.crashed = False
@@ -97,9 +137,13 @@ class MLGServer:
         self._had_clients = False
         self._pending_join_work: WorkReport | None = None
         self._last_autosave_us = 0
-        #: Cumulative bytes "written to disk" by autosaves.
-        self.disk_bytes_written = 0
-        self.disk_bytes_read = 0
+        #: Cumulative bytes "written to disk" by the legacy (no-store)
+        #: autosave model; real region IO is accounted by the lifecycle.
+        self._disk_bytes_written = 0
+        self._disk_bytes_read = 0
+        #: Chunks already counted by the storeless-lifecycle variant of
+        #: the legacy model (whose dirty flags never clear).
+        self._legacy_counted: set[tuple[int, int]] = set()
 
     # -- lifecycle ---------------------------------------------------------------------
 
@@ -211,15 +255,80 @@ class MLGServer:
         return records
 
     def _maybe_autosave(self) -> None:
+        """Legacy dirty-flag autosave model, used without a *real* store.
+
+        With a ``world_dir`` the :class:`ChunkLifecycle` performs — and
+        charges — real region-file saves inside the tick instead.  A
+        storeless lifecycle (warm cache or eviction only) keeps this
+        synthetic disk-IO metric alive, but must not clear dirty flags:
+        the eviction invariant (never drop unsaved modifications)
+        depends on them.
+        """
+        if self.lifecycle is not None and self.lifecycle.store is not None:
+            return
         now = self.clock.now_us
         if now - self._last_autosave_us >= s_to_us(AUTOSAVE_INTERVAL_S):
-            dirty = sum(1 for c in self.world.loaded_chunks() if c.dirty)
-            self.disk_bytes_written += dirty * 4096
-            for chunk in self.world.loaded_chunks():
-                chunk.dirty = False
+            if self.lifecycle is None:
+                dirty = sum(1 for c in self.world.loaded_chunks() if c.dirty)
+                self._disk_bytes_written += dirty * 4096
+                for chunk in self.world.loaded_chunks():
+                    chunk.dirty = False
+            else:
+                # Flags stay set (eviction safety), so charge each
+                # dirtied chunk once instead of re-charging the whole
+                # ever-dirty set every interval.
+                new = [
+                    (c.cx, c.cz)
+                    for c in self.world.loaded_chunks()
+                    if c.dirty and (c.cx, c.cz) not in self._legacy_counted
+                ]
+                self._disk_bytes_written += len(new) * 4096
+                self._legacy_counted.update(new)
             self._last_autosave_us = now
 
     # -- introspection (used by collectors) ------------------------------------------------
+
+    @property
+    def disk_bytes_written(self) -> int:
+        """Cumulative bytes written to disk (region IO or legacy model)."""
+        lifecycle_bytes = (
+            self.lifecycle.bytes_written if self.lifecycle is not None else 0
+        )
+        return self._disk_bytes_written + lifecycle_bytes
+
+    @property
+    def disk_bytes_read(self) -> int:
+        lifecycle_bytes = (
+            self.lifecycle.bytes_read if self.lifecycle is not None else 0
+        )
+        return self._disk_bytes_read + lifecycle_bytes
+
+    @property
+    def eviction_enabled(self) -> bool:
+        """True when chunk streaming bounds the loaded-chunk count."""
+        return self.lifecycle is not None and self.lifecycle.eviction_enabled
+
+    def simulation_anchor_chunks(self) -> set[tuple[int, int]]:
+        """Chunks active simulation state references outside player views.
+
+        Player views are not the only live references into terrain:
+        scheduled fluid cells, redstone nets/events, and entity positions
+        all read the world through the AIR-for-unloaded bulk queries, so
+        evicting beneath them would silently diverge the simulation from
+        an eviction-free run (not just change its timing).  The lifecycle
+        excludes these chunks from eviction.
+        """
+        base = self.fluids.queued_chunks()
+        base |= self.redstone.anchored_chunks()
+        base |= self.entities.occupied_chunks()
+        # One-chunk ring: anchored state near a border reads (and falls,
+        # spreads, collides) into the neighbouring chunk.
+        return {
+            (cx + dx, cz + dz)
+            for cx, cz in base
+            for dx in (-1, 0, 1)
+            for dz in (-1, 0, 1)
+        }
 
     @property
     def tick_records(self) -> list[TickRecord]:

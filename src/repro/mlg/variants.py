@@ -53,7 +53,19 @@ _BASE_COSTS: dict[str, float] = {
     Op.SPAWN_ATTEMPT: 3.0,
     Op.SPAWN_SCAN: 55.0,
     Op.CHUNK_GEN: 950.0,
-    Op.CHUNK_LOAD: 140.0,
+    # Reading a chunk back from a region file: seek + inflate (~66 KB
+    # raw per chunk) + deserialize + relight.  An order cheaper than
+    # generating it, an order pricier than serving it from memory.
+    Op.CHUNK_LOAD: 260.0,
+    # Writing one dirty chunk during an autosave: deflate + region
+    # read-modify-write, amortized across the chunks of a save batch.
+    Op.CHUNK_SAVE: 210.0,
+    # Attaching an already-resident chunk to a player view: no disk and
+    # no generation, but the chunk-data packet is serialized and
+    # compressed per send — the same 140 µs the pre-persistence model
+    # charged this path (as CHUNK_LOAD), keeping fixed-seed runs without
+    # disk IO bit-identical with the seed simulation.
+    Op.CHUNK_VIEW: 140.0,
     Op.CHUNK_TICK: 30.0,
     Op.PLAYER_ACTION: 5.0,
     Op.CHAT: 25.0,
@@ -151,6 +163,10 @@ PAPERMC = VariantProfile(
                 Op.SPAWN_ATTEMPT: 0.8,
                 Op.SPAWN_SCAN: 0.55,
                 Op.CHUNK_GEN: 0.8,
+                # Paper's async chunk system moves most chunk IO off the
+                # main thread; only the hand-off cost hits the tick.
+                Op.CHUNK_LOAD: 0.55,
+                Op.CHUNK_SAVE: 0.5,
             }
         )
     ),

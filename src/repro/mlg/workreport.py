@@ -35,6 +35,8 @@ class Op:
     SPAWN_SCAN = "spawn_scan"
     CHUNK_GEN = "chunk_gen"
     CHUNK_LOAD = "chunk_load"
+    CHUNK_SAVE = "chunk_save"
+    CHUNK_VIEW = "chunk_view"
     CHUNK_TICK = "chunk_tick"
     PLAYER_ACTION = "player_action"
     CHAT = "chat"
@@ -59,6 +61,8 @@ class Op:
         SPAWN_SCAN,
         CHUNK_GEN,
         CHUNK_LOAD,
+        CHUNK_SAVE,
+        CHUNK_VIEW,
         CHUNK_TICK,
         PLAYER_ACTION,
         CHAT,
@@ -74,6 +78,8 @@ FIGURE11_BUCKETS = (
     "Block Update",
     "Fluids",
     "Entities",
+    "Autosave",
+    "Chunk Load",
     "Other",
 )
 
@@ -96,6 +102,15 @@ _BUCKET_BY_OP = {
     Op.SPAWN_ATTEMPT: "Entities",
     # The per-chunk mob-spawning eligibility scan is entity work (MF4).
     Op.SPAWN_SCAN: "Entities",
+    # Chunk IO gets its own buckets so the persistence workloads are
+    # attributable in the tick-time distribution: "Autosave" is the
+    # periodic dirty-chunk write-back, "Chunk Load" covers bringing a
+    # chunk into play — generating it, reading it back from a region
+    # file, or re-attaching an already-resident chunk to a player view.
+    Op.CHUNK_SAVE: "Autosave",
+    Op.CHUNK_GEN: "Chunk Load",
+    Op.CHUNK_LOAD: "Chunk Load",
+    Op.CHUNK_VIEW: "Chunk Load",
 }
 
 

@@ -96,13 +96,22 @@ class World:
     ``generator`` — when provided — is invoked to populate newly created
     chunks (signature ``generator(chunk) -> None``), which models the lazy
     terrain generation of §2.2.2.
+
+    ``loader`` — when provided — is consulted *before* the generator when
+    a missing chunk is touched (signature ``loader(cx, cz) -> Chunk |
+    None``): the hook through which the persistence layer streams chunks
+    back in from region files.  A ``None`` return falls through to
+    generation.
     """
 
     def __init__(
-        self, generator: Callable[[Chunk], None] | None = None
+        self,
+        generator: Callable[[Chunk], None] | None = None,
+        loader: Callable[[int, int], Chunk | None] | None = None,
     ) -> None:
         self._chunks: dict[tuple[int, int], Chunk] = {}
         self._generator = generator
+        self._loader = loader
         self._change_log: list[BlockChange] = []
         #: Chunks generated since the last drain (for work accounting).
         self.chunks_generated_this_tick = 0
@@ -122,15 +131,54 @@ class World:
 
     def ensure_chunk(self, cx: int, cz: int) -> Chunk:
         """Return the chunk, creating (and generating) it if needed."""
+        return self.ensure_chunk_tracked(cx, cz)[0]
+
+    def ensure_chunk_tracked(self, cx: int, cz: int) -> tuple[Chunk, str]:
+        """Like :meth:`ensure_chunk`, also reporting where the chunk came
+        from: ``"resident"`` (already in memory), ``"loaded"`` (read back
+        through the loader hook), or ``"generated"`` — the distinction the
+        cost model charges differently (§ satellite: generation vs disk
+        load must be attributable)."""
         chunk = self._chunks.get((cx, cz))
-        if chunk is None:
-            chunk = Chunk(cx, cz)
-            self._chunks[(cx, cz)] = chunk
-            if self._generator is not None:
-                self._generator(chunk)
-                chunk.recompute_heightmap()
-                self.chunks_generated_this_tick += 1
-        return chunk
+        if chunk is not None:
+            return chunk, "resident"
+        if self._loader is not None:
+            chunk = self._loader(cx, cz)
+            if chunk is not None:
+                self._chunks[(cx, cz)] = chunk
+                return chunk, "loaded"
+        chunk = Chunk(cx, cz)
+        self._chunks[(cx, cz)] = chunk
+        if self._generator is not None:
+            self._generator(chunk)
+            chunk.recompute_heightmap()
+            self.chunks_generated_this_tick += 1
+        return chunk, "generated"
+
+    def set_loader(
+        self, loader: Callable[[int, int], Chunk | None] | None
+    ) -> None:
+        """Install the disk-load hook (wired by the chunk lifecycle)."""
+        self._loader = loader
+
+    def adopt_chunk(self, chunk: Chunk) -> None:
+        """Install an externally constructed chunk (deserialization),
+        replacing any resident chunk at its coordinates."""
+        self._chunks[(chunk.cx, chunk.cz)] = chunk
+
+    @property
+    def has_generator(self) -> bool:
+        """Whether missing chunks can be (re)generated deterministically."""
+        return self._generator is not None
+
+    def unload_chunk(self, cx: int, cz: int) -> Chunk | None:
+        """Drop a chunk from memory (the eviction half of streaming).
+
+        Returns the evicted chunk, or ``None`` when it was not loaded.
+        The caller (the lifecycle manager) is responsible for never
+        evicting unsaved dirty state.
+        """
+        return self._chunks.pop((cx, cz), None)
 
     def loaded_chunks(self) -> Iterator[Chunk]:
         return iter(self._chunks.values())

@@ -1,0 +1,39 @@
+"""World persistence: region-file chunk store and chunk lifecycle.
+
+Layers (lowest first):
+
+* :mod:`repro.persistence.region` — the on-disk region-file format
+  (32×32 chunks, zlib payloads, CRC-checked entries, atomic writes).
+* :mod:`repro.persistence.store` — :class:`RegionStore`, a directory of
+  region files with payload caching and corruption recovery.
+* :mod:`repro.persistence.lifecycle` — :class:`ChunkLifecycle`, the
+  autosave scheduler and LRU chunk-streaming policy the game loop drives.
+* :mod:`repro.persistence.warmup` — world pre-generation for campaign
+  warm caches and the ``repro world`` CLI.  Imported explicitly (not
+  re-exported here): it depends on the workload registry, which depends
+  on the server, which depends on this package.
+"""
+
+from repro.persistence.lifecycle import ChunkLifecycle
+from repro.persistence.region import (
+    CorruptEntry,
+    RegionCorruptError,
+    deserialize_chunk,
+    read_region,
+    serialize_chunk,
+    write_region,
+)
+from repro.persistence.store import RegionStore, StoreScan, world_hash
+
+__all__ = [
+    "ChunkLifecycle",
+    "CorruptEntry",
+    "RegionCorruptError",
+    "RegionStore",
+    "StoreScan",
+    "deserialize_chunk",
+    "read_region",
+    "serialize_chunk",
+    "world_hash",
+    "write_region",
+]

@@ -11,6 +11,7 @@ from repro.workloads.constructs import (
 )
 from repro.workloads.worlds import (
     ControlWorkload,
+    ExplorationWorkload,
     FarmWorkload,
     FloodWorkload,
     LagWorkload,
@@ -27,6 +28,7 @@ WORKLOADS: dict[str, type[Workload]] = {
         LagWorkload,
         PlayersWorkload,
         FloodWorkload,
+        ExplorationWorkload,
     )
 }
 
@@ -45,6 +47,7 @@ def get_workload(name: str, scale: float = 1.0, **kwargs) -> Workload:
 
 __all__ = [
     "ControlWorkload",
+    "ExplorationWorkload",
     "FarmWorkload",
     "FloodWorkload",
     "LagMachine",

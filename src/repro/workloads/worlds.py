@@ -8,11 +8,13 @@ TNT               Entity actions, terrain updates            16×16×14 TNT cubo
 Farm              Resource-farm constructs                   12 entity farms, 4 stone farms, 4 kelp farms, 1 item sorter
 Lag               Complex simulated construct, stress test   clock-driven gate storm, every-other-tick
 Players           (§3.4.1 player-based workload)             25 bots random-walking a 32×32 area
+Exploration       Chunk IO churn (persistence extension)     scout squads spiral outward from spawn
 ================  =========================================  ==========
 """
 
 from __future__ import annotations
 
+from repro.emulation.behavior import SpiralMarch
 from repro.emulation.swarm import BotSwarm
 from repro.mlg.blocks import Block
 from repro.mlg.server import MLGServer
@@ -35,6 +37,7 @@ __all__ = [
     "LagWorkload",
     "PlayersWorkload",
     "FloodWorkload",
+    "ExplorationWorkload",
 ]
 
 #: TNT ignites this long after the player connects (§3.3.1: "around 20
@@ -317,6 +320,58 @@ class FloodWorkload(Workload):
         swarm.add_observer(
             spawn_x=sx, spawn_z=sz, view_distance=self.VIEW_DISTANCE
         )
+
+
+class ExplorationWorkload(Workload):
+    """Chunk-churn workload: scout squads spiral outward from spawn.
+
+    Each scout marches out-and-back sorties along its own spiral arm
+    (see :class:`~repro.emulation.behavior.SpiralMarch`), continuously
+    pushing the terrain-generation frontier outward while re-entering the
+    terrain previous sorties left behind.  With persistence enabled this
+    forces the full generate → autosave → evict → reload cycle, making
+    "Autosave" and "Chunk Load" visible buckets in the Fig. 11 tick-time
+    taxonomy; without it, the run degenerates to pure frontier generation
+    (and an ever-growing world — exactly the memory growth eviction is
+    there to cap).
+    """
+
+    name = "exploration"
+    display_name = "Exploration"
+    description = "Scout squads spiral outward, churning chunk IO"
+    player_based = True
+
+    #: Scouts at scale 1 (each gets its own spiral arm).
+    BASE_BOTS = 4
+    #: Narrow view keeps the per-border chunk burst bounded and makes
+    #: terrain leave the view (and become evictable) quickly.
+    VIEW_DISTANCE = 4
+    #: Seconds between scout connects (staggers the join bursts).
+    STAGGER_S = 0.5
+
+    def __init__(self, scale: float = 1.0) -> None:
+        super().__init__(scale)
+        self.n_bots = max(1, round(self.BASE_BOTS * scale))
+
+    def create_world(self, seed: int) -> World:
+        return World(generator=TerrainGenerator(seed=seed ^ PAPER_SEED))
+
+    def install(self, server: MLGServer, swarm: BotSwarm) -> None:
+        import math
+
+        for i in range(self.n_bots):
+            swarm.add_bot(
+                name=f"scout-{i}",
+                behavior=SpiralMarch(
+                    cx=8.0,
+                    cz=8.0,
+                    phase=2.0 * math.pi * i / self.n_bots,
+                ),
+                spawn_x=8.0,
+                spawn_z=8.0,
+                connect_delay_s=i * self.STAGGER_S,
+                view_distance=self.VIEW_DISTANCE,
+            )
 
 
 class PlayersWorkload(Workload):

@@ -19,7 +19,7 @@ from repro.workloads import get_workload
 
 class TestBehaviorRegistry:
     def test_registry_names(self):
-        assert set(BEHAVIORS) == {"bounded-random", "idle"}
+        assert set(BEHAVIORS) == {"bounded-random", "idle", "spiral-march"}
 
     def test_make_behavior(self):
         assert isinstance(make_behavior("idle"), Idle)

@@ -138,7 +138,13 @@ class TestPlayerHandler:
         report = WorkReport()
         conn = handler.connect(1, "alice", 8.0, 8.0, report, view_distance=2)
         assert len(conn.loaded_chunks) == 25
-        assert report.get(Op.CHUNK_GEN) + report.get(Op.CHUNK_LOAD) == 25
+        # Every chunk is charged exactly once: generated, disk-loaded, or
+        # (already resident, as in this pre-built flat world) view-attached.
+        assert (
+            report.get(Op.CHUNK_GEN)
+            + report.get(Op.CHUNK_LOAD)
+            + report.get(Op.CHUNK_VIEW)
+        ) == 25
         assert net.stats.counts[PacketCategory.CHUNK_DATA] == 25
 
     def test_connect_spawns_at_ground_level(self):

@@ -68,7 +68,13 @@ class TestWorkReport:
         assert bucket_of(Op.FLUID) == "Fluids"
         assert bucket_of(Op.BLOCK_ADD_REMOVE) == "Block Add/Remove"
         assert bucket_of(Op.CHAT) == "Other"
-        assert bucket_of(Op.CHUNK_GEN) == "Other"
+        # Chunk IO is attributable since the persistence extension: all
+        # three ways a chunk enters play share the "Chunk Load" bucket,
+        # and autosave write-back gets its own.
+        assert bucket_of(Op.CHUNK_GEN) == "Chunk Load"
+        assert bucket_of(Op.CHUNK_LOAD) == "Chunk Load"
+        assert bucket_of(Op.CHUNK_VIEW) == "Chunk Load"
+        assert bucket_of(Op.CHUNK_SAVE) == "Autosave"
 
     def test_bucketed_cost(self):
         report = WorkReport()

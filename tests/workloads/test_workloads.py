@@ -54,6 +54,7 @@ class TestRegistry:
     def test_all_workloads_registered(self):
         assert set(WORKLOADS) == {
             "control", "tnt", "farm", "lag", "players", "flood",
+            "exploration",
         }
 
     def test_get_workload_by_name(self):
@@ -71,8 +72,12 @@ class TestRegistry:
 
     def test_display_names(self):
         names = {cls.display_name for cls in WORKLOADS.values()}
-        # The paper's five workloads plus our fluid-dominated extension.
-        assert names == {"Control", "TNT", "Farm", "Lag", "Players", "Flood"}
+        # The paper's five workloads plus our fluid-dominated and
+        # chunk-IO-churn extensions.
+        assert names == {
+            "Control", "TNT", "Farm", "Lag", "Players", "Flood",
+            "Exploration",
+        }
 
 
 class TestControl:
