@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Gate the last bench run against the committed perf baseline.
+
+Thin wrapper over :mod:`repro.tracing.perf_baseline` with paths anchored
+to this directory, so it works from any CWD (CI runs it right after the
+benchmark suite)::
+
+    python benchmarks/check_perf_baseline.py            # gate
+    python benchmarks/check_perf_baseline.py --update   # rewrite baseline
+
+Exit codes: 0 OK, 1 perf regression, 2 missing inputs.
+"""
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = Path(__file__).resolve().parent
+sys.path.insert(0, str(BENCH_DIR.parent / "src"))
+
+from repro.tracing.perf_baseline import main  # noqa: E402
+
+if __name__ == "__main__":
+    # Anchored defaults first; explicit flags on the command line win
+    # (argparse keeps the last occurrence).
+    sys.exit(
+        main(
+            [
+                "--runtimes",
+                str(BENCH_DIR / "out" / "bench_runtimes.json"),
+                "--baseline",
+                str(BENCH_DIR / "BENCH_fig11.json"),
+            ]
+            + sys.argv[1:]
+        )
+    )

@@ -48,6 +48,12 @@ def write_artifact(name: str, text: str) -> Path:
 # artifact exists (restored by the CI cache, or simply left over from the
 # last local run), prints a delta table — so entity-kernel speedups (and
 # regressions) are visible straight in PR logs.
+#
+# The *committed* trajectory lives in ``benchmarks/BENCH_fig11.json``:
+# ``check_perf_baseline.py`` gates the recorded runtimes against it
+# (machine-calibrated, >20% per-figure budget) in CI, and
+# ``METERSTICK_UPDATE_BASELINE=1`` rewrites it after an intentional
+# perf change.  See ``repro.tracing.perf_baseline``.
 
 RUNTIMES_PATH = OUT_DIR / "bench_runtimes.json"
 
@@ -55,10 +61,13 @@ _durations: dict[str, float] = {}
 
 
 def pytest_runtest_logreport(report):
-    if report.when == "call" and report.passed:
-        _durations[report.nodeid.split("::")[0]] = (
-            _durations.get(report.nodeid.split("::")[0], 0.0) + report.duration
-        )
+    # Sum every passed phase — setup and teardown included, not just
+    # call — so fixture-heavy benches (warm world cache, session-scoped
+    # campaign fixtures) report their real wall time.
+    if not report.passed:
+        return
+    name = report.nodeid.split("::", 1)[0]
+    _durations[name] = _durations.get(name, 0.0) + report.duration
 
 
 def pytest_terminal_summary(terminalreporter, exitstatus, config):

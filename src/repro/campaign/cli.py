@@ -6,18 +6,22 @@ Usage (also via the ``repro`` console script)::
     python -m repro resume campaign.yaml --jobs 4
     python -m repro status meterstick-out/
     python -m repro export meterstick-out/ --out analysis/
+    python -m repro trace export meterstick-out/
     python -m repro world prepare worlds/control --workload control
     python -m repro world inspect worlds/control
 
 ``run``/``resume`` take a campaign spec file (YAML or JSON);
-``status``/``export`` take either a spec file or a campaign output
-directory (one containing a ``manifest.json``); ``world`` manages the
-region-file world directories used for warm boots and persistence runs.
+``status``/``export``/``trace`` take either a spec file or a campaign
+output directory (one containing a ``manifest.json``); ``world`` manages
+the region-file world directories used for warm boots and persistence
+runs.  ``trace export`` renders a traced campaign (spec ``trace: true``)
+as Chrome trace-event JSON, loadable in Perfetto or ``chrome://tracing``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
@@ -71,6 +75,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--boxplot",
         action="store_true",
         help="print an ASCII tick-duration box plot per server",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="export span traces from a traced campaign"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    trace_export = trace_sub.add_parser(
+        "export",
+        help="render Chrome trace-event JSON (Perfetto/chrome://tracing)",
+    )
+    trace_export.add_argument(
+        "target", help="campaign spec file or campaign output directory"
+    )
+    trace_export.add_argument(
+        "--out",
+        default=None,
+        help="trace file to write (default: <output_dir>/export/trace.json)",
     )
 
     world = sub.add_parser(
@@ -176,8 +197,24 @@ def _cmd_run(args: argparse.Namespace, resume: bool) -> int:
     return 0
 
 
+def _top_bucket(tick: dict) -> str:
+    """The cell's dominant Fig. 11 bucket, as ``name share%``.
+
+    Read from the sidecar's cumulative per-bucket totals — the quickest
+    "what is this server spending its ticks on" signal without a full
+    export.
+    """
+    buckets = tick.get("breakdown_us") or {}
+    total = sum(buckets.values())
+    if total <= 0:
+        return "-"
+    name, us = max(buckets.items(), key=lambda kv: (kv[1], kv[0]))
+    return f"{name} {100.0 * us / total:.0f}%"
+
+
 def _telemetry_columns(entry: dict, iterations: int) -> list[str]:
-    """Live columns for one job: iterations, p50/p99/CoV, warmup state.
+    """Live columns for one job: iterations, p50/p99/CoV, warmup state,
+    and the dominant Fig. 11 bucket.
 
     Read from the job's streamed JSONL sidecar, so they update while the
     job is still running (``status`` on a live campaign).
@@ -187,7 +224,7 @@ def _telemetry_columns(entry: dict, iterations: int) -> list[str]:
     snap = tick.get("tick_ms") or {}
     windows = tick.get("windows") or {}
     if not snap:
-        return [f"0/{iterations}", "-", "-", "-", "-"]
+        return [f"0/{iterations}", "-", "-", "-", "-", "-"]
     phase = "steady" if windows.get("steady") else "warmup"
     return [
         f"{entry.get('iterations_done', 0)}/{iterations}",
@@ -195,6 +232,7 @@ def _telemetry_columns(entry: dict, iterations: int) -> list[str]:
         f"{snap['p99']:.1f}",
         f"{snap['cov']:.3f}",
         phase,
+        _top_bucket(tick),
     ]
 
 
@@ -233,14 +271,38 @@ def _cmd_status(args: argparse.Namespace) -> int:
         "p99ms",
         "cov",
         "phase",
+        "top bucket",
     )
     print(f"Campaign {spec.name!r} in {store.root}")
+    provenance_line = _provenance_line(store.read_manifest())
+    if provenance_line:
+        print(provenance_line)
     print(format_table(headers, rows))
     parts = [f"{status['completed']}/{status['total']} jobs complete"]
     if status.get("running"):
         parts.append(f"{status['running']} running")
     print(", ".join(parts))
     return 0
+
+
+def _provenance_line(manifest: dict | None) -> str | None:
+    """One-line run-provenance summary from the campaign manifest."""
+    provenance = (manifest or {}).get("provenance")
+    if not provenance:
+        return None
+    env = provenance.get("environment") or {}
+    sha = env.get("git_sha")
+    parts = [
+        f"provenance {provenance.get('fingerprint', '?')[:12]}",
+        f"git {sha[:10] if sha else 'n/a'}"
+        + ("+dirty" if env.get("git_dirty") else ""),
+        f"python {env.get('python', '?')}",
+        f"numpy {env.get('numpy', '?')}",
+    ]
+    captured = provenance.get("captured_at")
+    if captured:
+        parts.append(f"captured {captured}")
+    return "  ".join(parts)
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
@@ -253,6 +315,16 @@ def _cmd_export(args: argparse.Namespace) -> int:
     result = store.merge()
     out = Path(args.out) if args.out else store.root / "export"
     retrieve(result, out)
+    manifest = store.read_manifest() or {}
+    if manifest.get("provenance"):
+        out.mkdir(parents=True, exist_ok=True)
+        (out / "provenance.json").write_text(
+            json.dumps(manifest["provenance"], indent=2, sort_keys=True)
+            + "\n"
+        )
+        line = _provenance_line(manifest)
+        if line:
+            print(line)
     grid = campaign_grid(result)
     if grid.rows:
         headers = list(grid.rows[0])
@@ -277,6 +349,59 @@ def _cmd_export(args: argparse.Namespace) -> int:
         print()
         print("Tick durations per server:")
         print(ascii_boxplot(series))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.tracing.chrome import render_campaign_trace
+
+    if args.trace_command != "export":
+        raise AssertionError(
+            f"unhandled trace command {args.trace_command!r}"
+        )
+    spec = _load_spec(args.target)
+    store = JobStore(spec.output_dir)
+    manifest = store.read_manifest()
+    if manifest is None:
+        raise FileNotFoundError(
+            f"no campaign manifest in {store.root}; run the campaign first"
+        )
+    document = render_campaign_trace(
+        store, provenance=manifest.get("provenance")
+    )
+    out = (
+        Path(args.out) if args.out else store.root / "export" / "trace.json"
+    )
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document) + "\n")
+    other = document["otherData"]
+    print(
+        f"Wrote {len(document['traceEvents'])} trace event(s) from "
+        f"{other['traced_iterations']} traced iteration(s) across "
+        f"{other['traced_jobs']}/{other['jobs']} job(s) to {out}"
+    )
+    # Collate the per-job flight-recorder sidecars next to the trace.
+    anomalies: list[dict] = []
+    for job in sorted(store.manifest_jobs(), key=lambda j: j.index):
+        anomalies.extend(store.read_job_anomalies(job.job_id))
+    if anomalies:
+        anomalies_out = out.with_name("anomalies.jsonl")
+        anomalies_out.write_text(
+            "\n".join(
+                json.dumps(anomaly, sort_keys=True) for anomaly in anomalies
+            )
+            + "\n"
+        )
+        print(
+            f"Wrote {len(anomalies)} slow-tick anomaly dump(s) to "
+            f"{anomalies_out}"
+        )
+    if other["traced_iterations"] == 0:
+        print(
+            "note: no traced iterations found — run the campaign with "
+            "trace: true in the spec",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -348,6 +473,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_status(args)
         if args.command == "export":
             return _cmd_export(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
         if args.command == "world":
             return _cmd_world(args)
     except (FileNotFoundError, FileExistsError, ValueError) as exc:

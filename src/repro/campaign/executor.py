@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import time
 from collections.abc import Callable
 from pathlib import Path
 
@@ -22,8 +23,14 @@ from repro.core.results import ExperimentResult, IterationResult
 from repro.campaign.planner import Job, JobPlanner
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import JobStore
+from repro.tracing.provenance import provenance_fingerprint
 
-__all__ = ["CampaignExecutor", "execute_job", "telemetry_line"]
+__all__ = [
+    "CampaignExecutor",
+    "anomaly_lines",
+    "execute_job",
+    "telemetry_line",
+]
 
 #: Progress callback: (job, n_done, n_total).
 ProgressFn = Callable[[Job, int, int], None]
@@ -69,6 +76,25 @@ def _strip_tails(snapshot) -> object:
     return snapshot
 
 
+def _sidecar_telemetry(telemetry: dict) -> object:
+    """Sidecar-sized telemetry: tails stripped, trace bulk summarized.
+
+    A traced iteration's span-dump ring ("ticks") and anomaly list can
+    run to tens of kilobytes; ``status`` tail-reads sidecars on every
+    poll, so the sidecar keeps only the trace's summary state (knobs,
+    per-phase accumulators, counters).  The full dumps stay in the job
+    shard, and anomalies additionally stream to their own JSONL.
+    """
+    slim = _strip_tails(telemetry)
+    trace = slim.get("trace") if isinstance(slim, dict) else None
+    if isinstance(trace, dict):
+        trace = dict(trace)
+        trace["anomaly_count"] = len(trace.pop("anomalies", None) or [])
+        trace.pop("ticks", None)
+        slim["trace"] = trace
+    return slim
+
+
 def telemetry_line(job: Job, it: IterationResult) -> str:
     """One JSONL sidecar line for a finished iteration.
 
@@ -83,43 +109,79 @@ def telemetry_line(job: Job, it: IterationResult) -> str:
             "seed": it.seed,
             "crashed": it.crashed,
             "isr": it.isr,
-            "telemetry": _strip_tails(it.telemetry),
+            "fingerprint": it.provenance.get("fingerprint"),
+            "telemetry": _sidecar_telemetry(it.telemetry),
         },
         sort_keys=True,
     )
 
 
-def execute_job(payload: dict) -> tuple[dict, list[dict]]:
+def anomaly_lines(job: Job, it: IterationResult) -> list[str]:
+    """Flight-recorder JSONL lines for one finished iteration."""
+    anomalies = ((it.telemetry or {}).get("trace") or {}).get("anomalies")
+    return [
+        json.dumps(
+            {
+                "job_id": job.job_id,
+                "cell": job.cell.key(),
+                "iteration": it.iteration,
+                **anomaly,
+            },
+            sort_keys=True,
+        )
+        for anomaly in anomalies or []
+    ]
+
+
+def execute_job(payload: dict) -> tuple[dict, list[dict], dict]:
     """Run one job's server chain; the unit shipped to worker processes.
 
     Takes and returns plain JSON-able dicts so the same function serves
-    the serial path, ``multiprocessing`` pickling, and shard files.
+    the serial path, ``multiprocessing`` pickling, and shard files.  The
+    third element is the job's lifecycle phase timings (wall seconds for
+    plan → iterate → externalize), which the executor folds into the
+    campaign trace.
 
     When the payload carries a ``telemetry_dir``, the worker streams one
     JSONL line per finished iteration into
     ``<telemetry_dir>/<job_id>.jsonl`` (truncating any sidecar left by a
     previous attempt), which is what makes in-flight jobs observable via
-    ``python -m repro status``.
+    ``python -m repro status``.  Traced iterations additionally stream
+    their slow-tick flight-recorder dumps into
+    ``<telemetry_dir>/<job_id>.anomalies.jsonl``.
     """
+    plan_start = time.perf_counter()
     spec = CampaignSpec.from_dict(payload["spec"])
     job = Job.from_dict(payload["job"])
     config = JobPlanner(spec).job_config(job)
+    phases = {"plan_s": time.perf_counter() - plan_start}
     telemetry_dir = payload.get("telemetry_dir")
+    iterate_start = time.perf_counter()
     if telemetry_dir is None:
         iterations = run_server_chain(config, job.server)
     else:
         path = Path(telemetry_dir) / f"{job.job_id}.jsonl"
         path.parent.mkdir(parents=True, exist_ok=True)
+        anomalies_path = Path(telemetry_dir) / f"{job.job_id}.anomalies.jsonl"
+        anomalies_path.unlink(missing_ok=True)
         with path.open("w") as sidecar:
 
             def stream(it: IterationResult) -> None:
                 sidecar.write(telemetry_line(job, it) + "\n")
                 sidecar.flush()
+                lines = anomaly_lines(job, it)
+                if lines:
+                    with anomalies_path.open("a") as recorder:
+                        recorder.write("\n".join(lines) + "\n")
 
             iterations = run_server_chain(
                 config, job.server, on_iteration=stream
             )
-    return payload["job"], [it.to_dict() for it in iterations]
+    phases["iterate_s"] = time.perf_counter() - iterate_start
+    externalize_start = time.perf_counter()
+    iteration_dicts = [it.to_dict() for it in iterations]
+    phases["externalize_s"] = time.perf_counter() - externalize_start
+    return payload["job"], iteration_dicts, phases
 
 
 class CampaignExecutor:
@@ -146,8 +208,10 @@ class CampaignExecutor:
         skipped; without it, a non-empty store is an error (never silently
         clobber or silently reuse a previous campaign's measurements).
         """
+        run_start = time.perf_counter()
         planner = JobPlanner(self.spec)
         plan = planner.plan()
+        plan_s = time.perf_counter() - run_start
         if resume:
             manifest = self.store.read_manifest()
             if manifest is not None:
@@ -174,9 +238,20 @@ class CampaignExecutor:
                 f"{self.store.root} holds {len(stale)} shard(s) from a "
                 "different campaign spec; choose a fresh output_dir"
             )
-        self.store.write_manifest(self.spec, plan)
+        # The manifest carries the campaign's provenance fingerprint —
+        # the only timestamped one: shards and sidecars must stay
+        # byte-identical across re-runs, the manifest need not.
+        self.store.write_manifest(
+            self.spec,
+            plan,
+            provenance=provenance_fingerprint(
+                self.spec.to_dict(), include_timestamp=True
+            ),
+        )
+        warm_start = time.perf_counter()
         if self.spec.warm_world_cache:
             self._ensure_world_caches(plan)
+        warm_boot_s = time.perf_counter() - warm_start
         pending = [job for job in plan if job.job_id not in completed]
         n_total = len(plan)
         n_done = n_total - len(pending)
@@ -192,13 +267,33 @@ class CampaignExecutor:
             results = self._run_parallel(payloads)
         else:
             results = map(execute_job, payloads)
-        for job_dict, iteration_dicts in results:
+        iterate_start = time.perf_counter()
+        job_phases: dict[str, dict] = {}
+        for job_dict, iteration_dicts, phases in results:
             job = Job.from_dict(job_dict)
             self.store.save_job_payload(job, iteration_dicts)
+            job_phases[job.job_id] = phases
             n_done += 1
             if self.progress is not None:
                 self.progress(job, n_done, n_total)
-        return self.store.merge(plan)
+        iterate_s = time.perf_counter() - iterate_start
+        externalize_start = time.perf_counter()
+        merged = self.store.merge(plan)
+        self.store.write_campaign_trace(
+            {
+                "phases": {
+                    "plan_s": plan_s,
+                    "warm_boot_s": warm_boot_s,
+                    "iterate_s": iterate_s,
+                    "externalize_s": time.perf_counter() - externalize_start,
+                },
+                "jobs": {
+                    job_id: job_phases[job_id]
+                    for job_id in sorted(job_phases)
+                },
+            }
+        )
+        return merged
 
     def _ensure_world_caches(self, plan: list[Job]) -> None:
         """Pre-generate each (workload, scale) world once, before any

@@ -51,6 +51,9 @@ _OVERRIDABLE_FIELDS = frozenset(
         "autosave_interval_s",
         "autosave_flush_every",
         "max_loaded_chunks",
+        "trace",
+        "trace_sample_every",
+        "slow_tick_factor",
     }
 )
 
@@ -122,6 +125,11 @@ class CampaignSpec:
     #: cell's terrain seed to the campaign ``seed``.
     warm_world_cache: bool = False
 
+    # -- observability (applied to every cell; see MeterstickConfig) ------
+    trace: bool = False
+    trace_sample_every: int = 1
+    slow_tick_factor: float = 3.0
+
     output_dir: str = "meterstick-out"
     #: Default worker-process count for the executor (CLI ``--jobs`` wins).
     jobs: int = 1
@@ -180,6 +188,16 @@ class CampaignSpec:
             raise ValueError(
                 f"max_loaded_chunks must be >= 1 (or None): "
                 f"{self.max_loaded_chunks!r}"
+            )
+        if self.trace_sample_every < 1:
+            raise ValueError(
+                f"trace_sample_every must be >= 1: "
+                f"{self.trace_sample_every!r}"
+            )
+        if self.slow_tick_factor <= 0:
+            raise ValueError(
+                f"slow_tick_factor must be positive: "
+                f"{self.slow_tick_factor!r}"
             )
         cell_fields = {attr for _, attr in MATRIX_AXES}
         for index, override in enumerate(self.overrides):
@@ -270,6 +288,9 @@ class CampaignSpec:
             autosave_interval_s=self.autosave_interval_s,
             autosave_flush_every=self.autosave_flush_every,
             max_loaded_chunks=self.max_loaded_chunks,
+            trace=self.trace,
+            trace_sample_every=self.trace_sample_every,
+            slow_tick_factor=self.slow_tick_factor,
         )
         for override in self.overrides:
             where = override.get("where", {})

@@ -3,10 +3,16 @@
 Layout, under the campaign's ``output_dir``::
 
     output_dir/
-      manifest.json             the spec and the planned job list
+      manifest.json             the spec, planned job list, and the
+                                campaign's provenance fingerprint
+      campaign_trace.json       executor phase timings (plan/warm-boot/
+                                iterate/externalize, per job and total)
       jobs/<job_id>.json        one shard per *completed* job
       telemetry/<job_id>.jsonl  streaming sidecar: one line per finished
                                 iteration, written while the job runs
+      telemetry/<job_id>.anomalies.jsonl
+                                slow-tick flight-recorder dumps (traced
+                                runs only; one line per anomalous tick)
 
 Shards are written atomically (temp file + ``os.replace``), so a campaign
 killed mid-run leaves either a complete shard or none — never a torn one.
@@ -66,15 +72,30 @@ class JobStore:
     def telemetry_path(self, job_id: str) -> Path:
         return self.telemetry_dir / f"{job_id}.jsonl"
 
+    def anomaly_path(self, job_id: str) -> Path:
+        """Slow-tick flight-recorder sidecar for one job."""
+        return self.telemetry_dir / f"{job_id}.anomalies.jsonl"
+
+    @property
+    def campaign_trace_path(self) -> Path:
+        return self.root / "campaign_trace.json"
+
     # -- manifest -----------------------------------------------------------
 
-    def write_manifest(self, spec: CampaignSpec, jobs: list[Job]) -> Path:
+    def write_manifest(
+        self,
+        spec: CampaignSpec,
+        jobs: list[Job],
+        provenance: dict | None = None,
+    ) -> Path:
         self.root.mkdir(parents=True, exist_ok=True)
         payload = {
             "name": spec.name,
             "spec": spec.to_dict(),
             "jobs": [job.to_dict() for job in jobs],
         }
+        if provenance is not None:
+            payload["provenance"] = provenance
         self._write_atomic(self.manifest_path, payload)
         return self.manifest_path
 
@@ -185,6 +206,35 @@ class JobStore:
                 continue  # torn or corrupt line from a killed worker
             return int(latest.get("iteration", len(lines) - 1)) + 1, latest
         return 0, None
+
+    def read_job_anomalies(self, job_id: str) -> list[dict]:
+        """Flight-recorder dumps streamed by one job, oldest first."""
+        path = self.anomaly_path(job_id)
+        if not path.exists():
+            return []
+        dumps: list[dict] = []
+        for raw in path.read_text().splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                dumps.append(json.loads(raw))
+            except json.JSONDecodeError:
+                continue  # torn write from a killed worker
+        return dumps
+
+    # -- campaign trace -----------------------------------------------------
+
+    def write_campaign_trace(self, payload: dict) -> Path:
+        """Persist the executor's job-lifecycle phase timings."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._write_atomic(self.campaign_trace_path, payload)
+        return self.campaign_trace_path
+
+    def read_campaign_trace(self) -> dict | None:
+        if not self.campaign_trace_path.exists():
+            return None
+        return json.loads(self.campaign_trace_path.read_text())
 
     # -- aggregation --------------------------------------------------------
 

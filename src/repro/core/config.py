@@ -83,6 +83,18 @@ class MeterstickConfig:
     #: Evict clean out-of-view chunks beyond this count (None: no cap).
     max_loaded_chunks: int | None = None
 
+    # -- observability -----------------------------------------------------
+    #: Tick-phase span tracing + slow-tick flight recorder.  Off by
+    #: default; untraced runs are bit-identical with the pre-tracing
+    #: simulation (the tracer hooks are no-ops).
+    trace: bool = False
+    #: Capture span trees on every Nth tick (1 = all).  The flight
+    #: recorder watches every tick regardless of sampling.
+    trace_sample_every: int = 1
+    #: A tick is an anomaly when its wall duration exceeds this multiple
+    #: of the 50 ms budget.
+    slow_tick_factor: float = 3.0
+
     # -- reproducibility ------------------------------------------------------
     seed: int = 0
     #: Simulated idle seconds between iterations (teardown + setup).
@@ -140,6 +152,16 @@ class MeterstickConfig:
             raise ValueError(
                 f"max_loaded_chunks must be >= 1 (or None): "
                 f"{self.max_loaded_chunks!r}"
+            )
+        if self.trace_sample_every < 1:
+            raise ValueError(
+                f"trace_sample_every must be >= 1: "
+                f"{self.trace_sample_every!r}"
+            )
+        if self.slow_tick_factor <= 0:
+            raise ValueError(
+                f"slow_tick_factor must be positive: "
+                f"{self.slow_tick_factor!r}"
             )
         lo, hi = self.jmx_port_range
         if lo > hi:

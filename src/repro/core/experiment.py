@@ -24,6 +24,7 @@ from repro.core.results import ExperimentResult, IterationResult
 from repro.emulation.swarm import BotSwarm
 from repro.mlg.server import MLGServer
 from repro.simtime import SimClock, s_to_us
+from repro.tracing.provenance import measurement_config, provenance_fingerprint
 from repro.workloads import get_workload
 
 __all__ = ["ExperimentRunner", "run_iteration", "run_server_chain"]
@@ -51,6 +52,9 @@ def run_iteration(
     autosave_flush_every: int = 6,
     max_loaded_chunks: int | None = None,
     world_seed: int | None = None,
+    trace: bool = False,
+    trace_sample_every: int = 1,
+    slow_tick_factor: float = 3.0,
 ) -> IterationResult:
     """Run one iteration and return its measurements.
 
@@ -94,6 +98,9 @@ def run_iteration(
         autosave_interval_s=autosave_interval_s,
         autosave_flush_every=autosave_flush_every,
         max_loaded_chunks=max_loaded_chunks,
+        trace=trace,
+        trace_sample_every=trace_sample_every,
+        slow_tick_factor=slow_tick_factor,
     )
     rng = np.random.default_rng(seed ^ 0x5EED)
     swarm = BotSwarm(server, env.network, rng)
@@ -139,6 +146,10 @@ def run_iteration(
             "initial_hash": initial_world_hash,
             **server.lifecycle.stats(),
         }
+    if server.tracer.enabled:
+        # Span dumps use simulated time only, so the trace snapshot is
+        # as deterministic as the run itself.
+        telemetry["trace"] = server.tracer.snapshot()
     return IterationResult(
         server=server_name,
         workload=workload_name,
@@ -186,6 +197,13 @@ def run_server_chain(
     if config.warm_machines:
         machine.drain_credits()
     clock = SimClock()
+    # One provenance fingerprint per chain, attached to every iteration.
+    # Deliberately timestamp-free and stripped of storage paths: shards
+    # must stay byte-identical across serial/parallel runs and across
+    # output directories (only the measurement conditions are stamped).
+    provenance = provenance_fingerprint(
+        measurement_config(config.to_dict()), extra={"server": server_name}
+    )
     iterations: list[IterationResult] = []
     for iteration in range(config.iterations):
         seed = config.iteration_seed(server_name, iteration)
@@ -231,10 +249,14 @@ def run_server_chain(
             world_seed=(
                 config.seed if config.world_cache_dir is not None else None
             ),
+            trace=config.trace,
+            trace_sample_every=config.trace_sample_every,
+            slow_tick_factor=config.slow_tick_factor,
         )
         iteration_result.throttled_ticks = (
             machine.throttled_executions - throttled_before
         )
+        iteration_result.provenance = dict(provenance)
         iterations.append(iteration_result)
         if on_iteration is not None:
             on_iteration(iteration_result)

@@ -82,6 +82,11 @@ class IterationResult:
     #: (SystemMetricsCollector), ``response_ms`` (MetricAccumulator).
     #: Empty for results recorded before the telemetry subsystem.
     telemetry: dict = field(default_factory=dict)
+    #: Run-provenance fingerprint (environment + resolved measurement
+    #: config + sha256 digest), stamped by the runner.  Deliberately
+    #: timestamp-free so re-runs of the same conditions are
+    #: byte-identical.  Empty for results recorded before tracing.
+    provenance: dict = field(default_factory=dict)
 
     @property
     def isr(self) -> float:

@@ -74,82 +74,107 @@ class GameLoop:
         """Execute one full tick and return its record."""
         server = self.server
         clock = server.clock
+        tracer = server.tracer
         start_us = clock.now_us
-        report = WorkReport()
-        report.add(Op.TICK_FIXED)
-        server.entities.begin_tick()
+        # The tracer supplies the report: a segment-stacked one on
+        # sampled ticks (spans own segments), a plain one otherwise.
+        report = tracer.begin_tick(self.tick_index, start_us)
+        with tracer.span("begin"):
+            report.add(Op.TICK_FIXED)
+            server.entities.begin_tick()
 
         # 0. Clients that timed out during the previous (monster) tick are
         # discovered as soon as the server looks at its sockets again.
-        for client_id in server.net.check_timeouts(start_us):
-            server.on_client_timeout(client_id)
+        with tracer.span("timeouts"):
+            for client_id in server.net.check_timeouts(start_us):
+                server.on_client_timeout(client_id)
 
         # 1. Player handler: drain the input queue, apply actions.
-        actions = server.net.drain_inbound(start_us)
-        server.players.process_actions(actions, report)
+        with tracer.span("players"):
+            actions = server.net.drain_inbound(start_us)
+            server.players.process_actions(actions, report)
 
         # 2. Terrain simulation: scheduled rules, fluids, growth.
-        server.redstone.tick(start_us, report, tick_index=self.tick_index)
-        server.fluids.tick(self.tick_index, report)
-        server.growth.tick(report)
+        with tracer.span("redstone"):
+            server.redstone.tick(start_us, report, tick_index=self.tick_index)
+        with tracer.span("fluids"):
+            server.fluids.tick(self.tick_index, report)
+        with tracer.span("growth"):
+            server.growth.tick(report)
 
         # 3. Entities: fuses/explosions, physics/AI/collisions, spawning.
-        server.tnt.tick(report)
-        server.entities.tick(report)
-        server.spawning.tick(server.players.positions(), report)
+        with tracer.span("tnt"):
+            server.tnt.tick(report)
+        with tracer.span("entities"):
+            server.entities.tick(report)
+        with tracer.span("spawning"):
+            server.spawning.tick(server.players.positions(), report)
 
         # 4. Chat (sync variants process it on the tick thread).
-        server.chat.process_tick(report)
+        with tracer.span("chat"):
+            server.chat.process_tick(report)
 
         # 5. Ambient per-chunk simulation cost: scheduling/border checks
         # (Other) plus the per-chunk mob-spawning eligibility scan, which
         # is entity work in the Fig. 11 taxonomy.
-        report.add(Op.CHUNK_TICK, server.world.loaded_chunk_count)
-        report.add(Op.SPAWN_SCAN, server.world.loaded_chunk_count)
+        with tracer.span("chunk_ambient"):
+            report.add(Op.CHUNK_TICK, server.world.loaded_chunk_count)
+            report.add(Op.SPAWN_SCAN, server.world.loaded_chunk_count)
 
         # 5.5. Chunk lifecycle: incremental autosave (Op.CHUNK_SAVE →
         # "Autosave"), periodic full flush (the save-all tick spike), and
         # view-driven eviction so the loaded-chunk count plateaus.
-        if server.lifecycle is not None:
-            server.lifecycle.tick(
-                self.tick_index, report, server.players.view_anchors()
-            )
+        with tracer.span("lifecycle"):
+            if server.lifecycle is not None:
+                server.lifecycle.tick(
+                    self.tick_index, report, server.players.view_anchors()
+                )
 
         # 6. Workload hooks (ignition timers, farm harvesters, ...).
-        for hook in server.tick_hooks:
-            hook(server, self.tick_index, report)
+        with tracer.span("hooks"):
+            for hook in server.tick_hooks:
+                hook(server, self.tick_index, report)
 
         # 7. Outbound state updates.
-        self._broadcast_state(report, start_us)
+        with tracer.span("broadcast"):
+            self._broadcast_state(report, start_us)
 
         # Price the work and let the machine turn it into wall time.
         # Allocation pressure (GC demand) scales with live entities and
         # heavy rule-update volume, damped by the variant's GC efficiency.
-        work_us = report.total_cost_us(server.variant.cost_table)
-        # Entity churn scales with the variant's allocation efficiency;
-        # rule-update event objects are engine-agnostic allocations.
-        alloc_pressure = (
-            server.variant.gc_factor * server.entities.count()
-            + (report.get(Op.REDSTONE) + report.get(Op.BLOCK_UPDATE)) / 600.0
-            + report.get(Op.BLOCK_ADD_REMOVE) / 20.0
-        )
-        duration_us = server.machine.execute(
-            work_us,
-            server.variant.parallel_fraction,
-            start_us,
-            background_cpu_fraction=server.variant.background_cpu_fraction,
-            alloc_pressure=alloc_pressure,
-            extra_thread_cores=max(0, server.variant.thread_count - 24)
-            * 0.008,
-        )
+        with tracer.span("pricing") as pricing:
+            work_us = report.total_cost_us(server.variant.cost_table)
+            # Entity churn scales with the variant's allocation efficiency;
+            # rule-update event objects are engine-agnostic allocations.
+            alloc_pressure = (
+                server.variant.gc_factor * server.entities.count()
+                + (report.get(Op.REDSTONE) + report.get(Op.BLOCK_UPDATE))
+                / 600.0
+                + report.get(Op.BLOCK_ADD_REMOVE) / 20.0
+            )
+            duration_us = server.machine.execute(
+                work_us,
+                server.variant.parallel_fraction,
+                start_us,
+                background_cpu_fraction=server.variant.background_cpu_fraction,
+                alloc_pressure=alloc_pressure,
+                extra_thread_cores=max(0, server.variant.thread_count - 24)
+                * 0.008,
+            )
+            if pricing is not None:
+                pricing.note(work_us=work_us, duration_us=duration_us)
         clock.advance(duration_us)
         flush_us = clock.now_us
 
         # Flush: sync chat echoes and keepalives ride the tick boundary.
-        server.chat.flush_processed(flush_us, report)
-        timed_out = server.net.flush_keepalives(flush_us, report)
-        for client_id in timed_out:
-            server.on_client_timeout(client_id)
+        # (Flush ops land after pricing, so they are charged to the
+        # *next* tick's budget — the "flush" span marks them apart from
+        # the work that produced this tick's work_us.)
+        with tracer.span("flush"):
+            server.chat.flush_processed(flush_us, report)
+            timed_out = server.net.flush_keepalives(flush_us, report)
+            for client_id in timed_out:
+                server.on_client_timeout(client_id)
 
         # Wait for the next scheduled tick start (if we are not late).
         wait_us = max(0, TICK_BUDGET_US - duration_us)
@@ -169,6 +194,7 @@ class GameLoop:
         )
         # The tick tap folds the record into streaming telemetry; the raw
         # list is only kept for the figure pipeline (retain_raw).
+        tracer.end_tick(record, report)
         server.telemetry.observe_tick(record)
         self.last_record = record
         if server.retain_raw:

@@ -36,6 +36,7 @@ from repro.persistence.lifecycle import ChunkLifecycle
 from repro.persistence.store import RegionStore
 from repro.simtime import SimClock, s_to_us
 from repro.telemetry.tap import ServerTelemetry
+from repro.tracing.tracer import NULL_TRACER, NullTracer, Tracer
 
 __all__ = ["MLGServer"]
 
@@ -67,6 +68,9 @@ class MLGServer:
         autosave_interval_s: float = AUTOSAVE_INTERVAL_S,
         autosave_flush_every: int = DEFAULT_FLUSH_EVERY,
         max_loaded_chunks: int | None = None,
+        trace: bool = False,
+        trace_sample_every: int = 1,
+        slow_tick_factor: float = 3.0,
     ) -> None:
         self.variant = (
             get_variant(variant) if isinstance(variant, str) else variant
@@ -82,6 +86,17 @@ class MLGServer:
         self.telemetry = ServerTelemetry(
             TICK_BUDGET_US, window_size=telemetry_window
         )
+        #: Tick-phase span tracing + slow-tick flight recorder.  Off by
+        #: default: the null tracer does no bookkeeping at all, keeping
+        #: untraced runs bit-identical with the pre-tracing simulation.
+        self.tracer: Tracer | NullTracer = NULL_TRACER
+        if trace:
+            self.tracer = Tracer(
+                self.variant.cost_table,
+                budget_us=TICK_BUDGET_US,
+                sample_every=trace_sample_every,
+                slow_tick_factor=slow_tick_factor,
+            )
 
         self.lights = LightEngine(self.world)
         self.fluids = FluidEngine(self.world)
@@ -127,6 +142,7 @@ class MLGServer:
                 max_loaded_chunks=max_loaded_chunks,
                 relight=self.lights.light_chunk,
                 pinned=self.simulation_anchor_chunks,
+                tracer=self.tracer,
             )
 
         self.tick_hooks: list[TickHook] = []

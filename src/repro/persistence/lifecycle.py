@@ -34,6 +34,7 @@ from collections.abc import Callable, Iterable
 from repro.mlg.workreport import Op, WorkReport
 from repro.mlg.world import Chunk, World
 from repro.persistence.store import RegionStore
+from repro.tracing.tracer import NULL_TRACER
 
 __all__ = ["ChunkLifecycle"]
 
@@ -66,6 +67,7 @@ class ChunkLifecycle:
         max_loaded_chunks: int | None = None,
         relight: Callable[[Chunk], object] | None = None,
         pinned: Callable[[], set[tuple[int, int]]] | None = None,
+        tracer=None,
     ) -> None:
         if autosave_interval_ticks < 1:
             raise ValueError(
@@ -86,6 +88,9 @@ class ChunkLifecycle:
         #: Extra chunks to exclude from eviction (active simulation
         #: anchors: fluid queues, redstone nets, entity positions).
         self.pinned = pinned
+        #: Span tracer (the owning server's); lifecycle spans nest under
+        #: the game loop's "lifecycle" phase span.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Chunks recoverable from disk with their current content.
         self._on_disk: set[tuple[int, int]] = set()
         if store is not None:
@@ -168,10 +173,11 @@ class ChunkLifecycle:
             self.eviction_enabled
             and self.world.loaded_chunk_count > self.max_loaded_chunks
         ):
-            in_view = self._in_view(anchors)
-            for key in in_view:
-                self._last_seen[key] = tick_index
-            self._evict(tick_index, in_view)
+            with self.tracer.span("evict"):
+                in_view = self._in_view(anchors)
+                for key in in_view:
+                    self._last_seen[key] = tick_index
+                self._evict(tick_index, in_view)
 
     # -- loading -------------------------------------------------------------
 
@@ -223,44 +229,47 @@ class ChunkLifecycle:
             )
             if full:
                 # The save-all flush: the whole backlog in one tick.
-                self.full_flushes += 1
-                self._pending_save.clear()
-                written = self._write_chunks(self._collect(backlog))
-                report.add(Op.CHUNK_SAVE, written)
+                with self.tracer.span("save_all"):
+                    self.full_flushes += 1
+                    self._pending_save.clear()
+                    written = self._write_chunks(self._collect(backlog))
+                    report.add(Op.CHUNK_SAVE, written)
                 return
             self._pending_save = deque(backlog)
         if self._pending_save:
-            batch: list[tuple[int, int]] = []
-            while (
-                self._pending_save
-                and len(batch) < self.SAVE_CHUNKS_PER_TICK
-            ):
-                batch.append(self._pending_save.popleft())
-            # Charge the work (deflate + serialize) on the tick it
-            # happens, but buffer the region-file write until no more of
-            # that region's chunks remain in the backlog — one physical
-            # read-modify-write per region per cycle instead of one per
-            # batch.  Staged chunks keep their dirty flag (and thus
-            # their eviction protection) until they actually hit disk.
-            chunks = self._collect(batch)
-            if chunks:
-                report.add(Op.CHUNK_SAVE, len(chunks))
-                self._staged.extend(chunks)
-            remaining = {
-                chunk_to_region(*key) for key in self._pending_save
-            }
-            ready = [
-                chunk
-                for chunk in self._staged
-                if chunk_to_region(chunk.cx, chunk.cz) not in remaining
-            ]
-            if ready:
-                self._staged = [
+            with self.tracer.span("autosave"):
+                batch: list[tuple[int, int]] = []
+                while (
+                    self._pending_save
+                    and len(batch) < self.SAVE_CHUNKS_PER_TICK
+                ):
+                    batch.append(self._pending_save.popleft())
+                # Charge the work (deflate + serialize) on the tick it
+                # happens, but buffer the region-file write until no more
+                # of that region's chunks remain in the backlog — one
+                # physical read-modify-write per region per cycle instead
+                # of one per batch.  Staged chunks keep their dirty flag
+                # (and thus their eviction protection) until they
+                # actually hit disk.
+                chunks = self._collect(batch)
+                if chunks:
+                    report.add(Op.CHUNK_SAVE, len(chunks))
+                    self._staged.extend(chunks)
+                remaining = {
+                    chunk_to_region(*key) for key in self._pending_save
+                }
+                ready = [
                     chunk
                     for chunk in self._staged
-                    if chunk_to_region(chunk.cx, chunk.cz) in remaining
+                    if chunk_to_region(chunk.cx, chunk.cz) not in remaining
                 ]
-                self._write_chunks(ready)
+                if ready:
+                    self._staged = [
+                        chunk
+                        for chunk in self._staged
+                        if chunk_to_region(chunk.cx, chunk.cz) in remaining
+                    ]
+                    self._write_chunks(ready)
 
     def _collect(self, keys: list[tuple[int, int]]) -> list[Chunk]:
         """Resolve still-saveable chunks (drops vanished/cleaned ones)."""

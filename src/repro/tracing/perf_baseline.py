@@ -1,0 +1,247 @@
+"""The committed perf trajectory: per-figure wall-time baseline + gate.
+
+``benchmarks/conftest.py`` records each benchmark module's wall time
+into ``benchmarks/out/bench_runtimes.json`` on every run.  This module
+formalizes that artifact into a *committed* baseline
+(``benchmarks/BENCH_fig11.json``: per-figure seconds + a provenance
+header) and a CI gate that fails on a >20% per-figure regression — the
+ROADMAP's "the trajectory is currently invisible" item.
+
+Comparing wall times across machines is exactly the trap "When Should I
+Run My Application Benchmark?" (PAPERS.md) warns about, so the gate
+never compares raw seconds: both the baseline writer and the checker
+time a fixed numpy **calibration workload** on their own machine, and
+the budget scales by ``machine_factor = current_cal / baseline_cal``.
+A figure regresses when::
+
+    current > baseline * machine_factor * (1 + tolerance)
+
+Usage (CI runs the thin wrapper ``benchmarks/check_perf_baseline.py``)::
+
+    python -m repro.tracing.perf_baseline            # gate current run
+    python -m repro.tracing.perf_baseline --update   # rewrite baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.tracing.provenance import provenance_fingerprint
+
+__all__ = [
+    "compare",
+    "main",
+    "measure_calibration",
+    "write_baseline",
+]
+
+#: Default per-figure regression tolerance (on top of machine scaling).
+DEFAULT_TOLERANCE = 0.20
+
+#: Calibration workload shape: big enough to exercise the same
+#: numpy/BLAS paths the simulation leans on, small enough to finish in
+#: tens of milliseconds.
+_CAL_N = 192
+_CAL_REPS = 6
+
+
+def measure_calibration(best_of: int = 3) -> float:
+    """Seconds the fixed numpy calibration workload takes here (best-of).
+
+    Deterministic input (seeded), minimum over ``best_of`` runs — the
+    minimum estimates the machine's unloaded speed, which is what the
+    scaling factor should capture, not transient load.
+    """
+    rng = np.random.default_rng(12345)
+    a = rng.standard_normal((_CAL_N, _CAL_N))
+    best = float("inf")
+    for _ in range(best_of):
+        b = a
+        start = time.perf_counter()
+        for _ in range(_CAL_REPS):
+            b = np.tanh(b @ b.T / _CAL_N)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+        # Fold the result into itself so the work cannot be elided.
+        a = a + b * 0.0
+    return best
+
+
+def write_baseline(
+    path: str | Path,
+    runtimes: dict[str, float],
+    calibration_s: float,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Path:
+    """Write the committed baseline: figures + calibration + provenance."""
+    path = Path(path)
+    payload = {
+        "provenance": provenance_fingerprint(include_timestamp=True),
+        "calibration_s": calibration_s,
+        "tolerance": tolerance,
+        "figures": {
+            name: round(seconds, 3)
+            for name, seconds in sorted(runtimes.items())
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def compare(
+    current: dict[str, float],
+    baseline: dict,
+    calibration_s: float,
+    tolerance: float | None = None,
+) -> tuple[list[dict], list[dict]]:
+    """``(rows, regressions)`` of the current run against the baseline.
+
+    Each row carries the figure name, baseline/current seconds, the
+    machine-scaled budget, and a status: ``ok``, ``REGRESSION``,
+    ``missing`` (in the baseline but not this run — skipped, never
+    failed, so partial bench runs stay usable locally), or ``new`` (not
+    yet in the baseline).
+    """
+    if tolerance is None:
+        tolerance = float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    base_cal = float(baseline["calibration_s"])
+    factor = calibration_s / base_cal if base_cal > 0 else 1.0
+    figures = baseline.get("figures", {})
+    rows: list[dict] = []
+    regressions: list[dict] = []
+    for name in sorted(set(figures) | set(current)):
+        base_s = figures.get(name)
+        cur_s = current.get(name)
+        if base_s is None:
+            rows.append(
+                {"figure": name, "current_s": cur_s, "status": "new"}
+            )
+            continue
+        budget_s = base_s * factor * (1.0 + tolerance)
+        if cur_s is None:
+            rows.append(
+                {
+                    "figure": name,
+                    "baseline_s": base_s,
+                    "budget_s": budget_s,
+                    "status": "missing",
+                }
+            )
+            continue
+        row = {
+            "figure": name,
+            "baseline_s": base_s,
+            "current_s": cur_s,
+            "budget_s": budget_s,
+            "status": "ok" if cur_s <= budget_s else "REGRESSION",
+        }
+        rows.append(row)
+        if row["status"] == "REGRESSION":
+            regressions.append(row)
+    return rows, regressions
+
+
+def _load(path: Path, what: str) -> dict:
+    if not path.exists():
+        raise FileNotFoundError(f"no {what} at {path}")
+    return json.loads(path.read_text())
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Gate benchmark wall times against the committed "
+        "BENCH_fig11.json baseline (machine-calibrated)."
+    )
+    parser.add_argument(
+        "--runtimes",
+        default="benchmarks/out/bench_runtimes.json",
+        help="per-figure runtimes from the last bench run",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/BENCH_fig11.json",
+        help="committed baseline to gate against (or rewrite)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override the baseline's per-figure tolerance",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="rewrite the baseline from the current runtimes "
+        "(also via METERSTICK_UPDATE_BASELINE=1)",
+    )
+    args = parser.parse_args(argv)
+    update = args.update or (
+        os.environ.get("METERSTICK_UPDATE_BASELINE", "0") == "1"
+    )
+    try:
+        runtimes = _load(Path(args.runtimes), "bench runtimes file")
+    except FileNotFoundError as exc:
+        print(f"error: {exc} (run the benchmark suite first)", file=sys.stderr)
+        return 2
+    calibration_s = measure_calibration()
+    if update:
+        path = write_baseline(
+            Path(args.baseline),
+            runtimes,
+            calibration_s,
+            args.tolerance if args.tolerance is not None else DEFAULT_TOLERANCE,
+        )
+        print(
+            f"baseline updated: {path} ({len(runtimes)} figure(s), "
+            f"calibration {calibration_s * 1000:.1f} ms)"
+        )
+        return 0
+    try:
+        baseline = _load(Path(args.baseline), "committed baseline")
+    except FileNotFoundError as exc:
+        print(f"error: {exc} (--update to create it)", file=sys.stderr)
+        return 2
+    factor = calibration_s / float(baseline["calibration_s"])
+    rows, regressions = compare(
+        runtimes, baseline, calibration_s, tolerance=args.tolerance
+    )
+    print(
+        f"machine factor {factor:.2f} (calibration "
+        f"{calibration_s * 1000:.1f} ms vs baseline "
+        f"{float(baseline['calibration_s']) * 1000:.1f} ms)"
+    )
+    def _col(label: str, value: float | None) -> str:
+        if value is None:
+            return f"{label}     n/a"
+        return f"{label} {value:7.2f}s"
+
+    for row in rows:
+        print(
+            f"{row['figure']:<45} "
+            f"{_col('base', row.get('baseline_s'))}  "
+            f"{_col('now', row.get('current_s'))}  "
+            f"{_col('budget', row.get('budget_s'))}  "
+            f"{row['status']}"
+        )
+    if regressions:
+        names = ", ".join(row["figure"] for row in regressions)
+        print(
+            f"PERF REGRESSION: {len(regressions)} figure(s) over budget: "
+            f"{names}",
+            file=sys.stderr,
+        )
+        return 1
+    print("perf trajectory OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

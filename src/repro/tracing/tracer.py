@@ -1,0 +1,454 @@
+"""Low-overhead tick-phase span tracing for the simulated server.
+
+Meterstick's tick records say *that* a tick was slow; the tracer says
+*which phase* made it slow.  A :class:`Tracer` rides on one server and is
+driven by the game loop::
+
+    tracer.begin_tick(tick_index, start_us, report)
+    with tracer.span("fluids"):
+        server.fluids.tick(...)
+    ...
+    tracer.end_tick(record, report)
+
+A span does not time wall clocks — the simulation's cost model *is* its
+clock.  On a sampled tick the game loop runs against a
+:class:`TracedWorkReport`, whose ``counts`` dict always aliases the
+innermost open span's *segment*: entering a span pushes a fresh segment,
+so the engines' ``add``/``merge`` calls run the **unmodified base-class
+code path** (zero per-operation overhead); exiting pops the segment —
+which now holds exactly the ops recorded while the span was open — folds
+it into the enclosing segment, and prices it to simulated microseconds
+with the variant's cost table.  Because every count is an integer tally
+(exactly representable as a float), segment sums telescope without
+rounding: merging the top-level spans of a tick reproduces the tick's
+report — and therefore its ``work_us`` and ``breakdown_us`` — bit for
+bit (see :func:`merge_span_ops` and the parity tests).
+
+Design constraints, after "Overhead Measurement Noise in Different
+Runtime Environments" (PAPERS.md): tracing is **off by default** and the
+disabled path (:class:`NullTracer`) performs no bookkeeping at all, so
+``trace=False`` runs stay bit-identical with the untraced simulation;
+when enabled, recording an op costs exactly what it costs untraced, span
+entry/exit is O(distinct ops inside the span), and memory stays constant
+for arbitrarily long runs: ``trace_sample_every`` captures every Nth
+tick and a **preallocated ring buffer** bounds retained dumps.
+
+On top of the spans:
+
+- per-phase streaming :class:`~repro.telemetry.accumulators.MetricAccumulator`s
+  (one per top-level span name) that campaigns publish into the JSONL
+  telemetry sidecars;
+- a slow-tick **flight recorder**: any tick whose wall duration exceeds
+  ``slow_tick_factor ×`` the tick budget is dumped — span tree plus the
+  top-k most expensive operations of its report — into a bounded anomaly
+  deque, spark/watchdog style (slow ticks are caught even between
+  sampled ticks; the span tree is attached when the tick was sampled).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.mlg.workreport import WorkReport
+from repro.telemetry.accumulators import MetricAccumulator
+
+__all__ = [
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "TracedWorkReport",
+    "Tracer",
+    "compact_span",
+    "merge_span_ops",
+]
+
+
+class TracedWorkReport(WorkReport):
+    """A :class:`WorkReport` whose ``counts`` aliases a segment stack.
+
+    ``segments[0]`` is the base tally; each open span pushes a fresh
+    segment dict and repoints ``counts`` at it, so the inherited
+    ``add``/``merge`` — the *same code* the untraced simulation runs —
+    lands ops in the innermost segment at zero extra cost.  Closing a
+    span folds its segment into the enclosing one, so once every span
+    has exited ``counts`` is the complete tick tally, arithmetically
+    identical to an untraced report's (integer tallies sum exactly in
+    any grouping).  Reads that can happen while spans are open
+    (``get``/``cost_us`` and everything built on them) merge across the
+    stack so mid-tick pricing sees the full picture.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Open-segment stack; ``counts`` always aliases ``segments[-1]``.
+        self.segments: list[dict[str, float]] = [self.counts]
+
+    def _merged(self) -> dict[str, float]:
+        merged = dict(self.segments[0])
+        merged_get = merged.get
+        for seg in self.segments[1:]:
+            for op, n in seg.items():
+                merged[op] = merged_get(op, 0.0) + n
+        return merged
+
+    def get(self, op: str) -> float:
+        segments = self.segments
+        if len(segments) == 1:
+            return self.counts.get(op, 0.0)
+        return sum(seg.get(op, 0.0) for seg in segments)
+
+    def cost_us(self, cost_table) -> dict[str, float]:
+        if len(self.segments) == 1:
+            return super().cost_us(cost_table)
+        get = cost_table.get
+        return {
+            op: n * get(op, 0.0)
+            for op, n in self._merged().items()
+            if get(op, 0.0) > 0.0
+        }
+
+    def nonzero_ops(self):
+        merged = self._merged() if len(self.segments) > 1 else self.counts
+        return (op for op, n in merged.items() if n > 0)
+
+    def copy(self) -> WorkReport:
+        if len(self.segments) == 1:
+            return WorkReport(dict(self.counts))
+        return WorkReport(self._merged())
+
+
+class _NullSpan:
+    """Reusable no-op context manager handed out when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """The disabled tracer: every hook is a no-op.
+
+    The game loop calls the tracer unconditionally; with tracing off it
+    gets this stateless singleton, whose spans never touch the report —
+    which is what keeps ``trace=False`` runs bit-identical with the
+    untraced simulation.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+    def begin_tick(self, tick_index, start_us) -> WorkReport:
+        return WorkReport()
+
+    def span(self, name):
+        return _NULL_SPAN
+
+    def end_tick(self, record, report) -> None:
+        pass
+
+    def snapshot(self, max_ticks: int | None = None) -> dict:
+        return {"enabled": False}
+
+
+NULL_TRACER = NullTracer()
+
+
+class Span:
+    """One traced section of a tick: an owned segment of the report.
+
+    Entering pushes a fresh segment onto the report's stack (ops
+    recorded inside land there via the unmodified ``WorkReport`` code
+    path); exiting pops it — the segment *is* the span's delta op counts
+    (``ops``) — prices it (``cost_us``), and folds it into the enclosing
+    segment.  ``note()`` attaches extra key/values (the pricing span
+    records ``work_us`` and ``duration_us`` this way).  Spans nest;
+    ``depth`` starts at 1 for top-level phases and, because children
+    fold into their parent's segment before the parent closes, a
+    parent's ops include its children's.
+    """
+
+    __slots__ = ("name", "depth", "ops", "cost_us", "args", "_tracer")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.depth = 0
+        self.ops: dict[str, float] = {}
+        self.cost_us = 0.0
+        self.args: dict = {}
+
+    def note(self, **kwargs) -> None:
+        """Attach extra values to the span (rendered as trace args)."""
+        self.args.update(kwargs)
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        tracer._depth += 1
+        self.depth = tracer._depth
+        tracer._spans.append(self)
+        report = tracer._report
+        seg: dict[str, float] = {}
+        report.segments.append(seg)
+        report.counts = seg
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        tracer = self._tracer
+        report = tracer._report
+        segments = report.segments
+        seg = segments.pop()
+        outer = segments[-1]
+        report.counts = outer
+        if seg:
+            self.ops = seg
+            outer_get = outer.get
+            table_get = tracer.cost_table.get
+            cost = 0.0
+            for op, n in seg.items():
+                outer[op] = outer_get(op, 0.0) + n
+                cost += n * table_get(op, 0.0)
+            self.cost_us = cost
+        tracer._depth -= 1
+        return False
+
+
+def merge_span_ops(
+    spans,
+    *,
+    top_level_only: bool = True,
+    exclude: tuple[str, ...] = (),
+) -> dict[str, float]:
+    """Merge span op deltas back into one counts dict.
+
+    Spans are merged in recorded (pre-)order; op counts are integer
+    tallies, which sum exactly in any grouping, so the result reproduces
+    the original report's counts exactly.  Pricing the merged dict
+    through :class:`WorkReport` therefore reproduces
+    ``work_us``/``breakdown_us`` bit for bit.
+    """
+    merged: dict[str, float] = {}
+    for span in spans:
+        if top_level_only and span.depth != 1:
+            continue
+        if span.name in exclude:
+            continue
+        for op, n in span.ops.items():
+            merged[op] = merged.get(op, 0.0) + n
+    return merged
+
+
+def compact_span(span: Span) -> dict:
+    """JSON-able compact form: ``n``ame, ``d``epth, cost in ``us``."""
+    compact = {"n": span.name, "d": span.depth, "us": span.cost_us}
+    if span.args:
+        compact["args"] = dict(span.args)
+    return compact
+
+
+class Tracer:
+    """Span tracer + flight recorder for one server's tick loop.
+
+    ``cost_table`` is the variant's op→µs pricing (spans price their own
+    deltas with it); ``budget_us`` the 50 ms tick budget the slow-tick
+    threshold multiplies.  ``sample_every=N`` captures spans on every
+    Nth tick (1 = all); the flight recorder watches *every* tick
+    regardless.  ``retain_ticks`` bounds the span ring,
+    ``max_anomalies`` the anomaly deque, and ``export_ticks`` how many
+    recent sampled ticks :meth:`snapshot` serializes.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        cost_table,
+        *,
+        budget_us: int,
+        sample_every: int = 1,
+        slow_tick_factor: float = 3.0,
+        retain_ticks: int = 256,
+        max_anomalies: int = 64,
+        top_ops: int = 8,
+        export_ticks: int = 128,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1: {sample_every!r}")
+        if slow_tick_factor <= 0:
+            raise ValueError(
+                f"slow_tick_factor must be positive: {slow_tick_factor!r}"
+            )
+        if retain_ticks < 1:
+            raise ValueError(f"retain_ticks must be >= 1: {retain_ticks!r}")
+        if budget_us <= 0:
+            raise ValueError(f"budget_us must be positive: {budget_us!r}")
+        self.cost_table = cost_table
+        self.budget_us = budget_us
+        self.sample_every = sample_every
+        self.slow_tick_factor = slow_tick_factor
+        self.retain_ticks = retain_ticks
+        self.top_ops = top_ops
+        self.export_ticks = export_ticks
+        #: Preallocated ring of per-tick span dumps (sampled ticks only).
+        self._ring: list[dict | None] = [None] * retain_ticks
+        self._ring_next = 0
+        self._ring_count = 0
+        #: Per-phase streaming accumulators, one per top-level span name.
+        self.phases: dict[str, MetricAccumulator] = {}
+        #: Bounded slow-tick flight-recorder dumps, oldest dropped first.
+        self.anomalies: deque = deque(maxlen=max_anomalies)
+        self.ticks_seen = 0
+        self.ticks_sampled = 0
+        self.slow_ticks = 0
+        # Per-tick capture state.
+        self._report = None
+        self._spans: list[Span] = []
+        self._depth = 0
+        self._active = False
+        self._tick_index = 0
+        self._start_us = 0
+
+    # -- per-tick driver (called by the game loop) --------------------------
+
+    def begin_tick(self, tick_index: int, start_us: int) -> WorkReport:
+        """Arm the tracer for one tick and hand the game loop its report.
+
+        Sampled ticks get a :class:`TracedWorkReport` (spans need its
+        segment stack); unsampled ticks get a plain
+        :class:`WorkReport` — both tally identically.
+        """
+        self.ticks_seen += 1
+        self._active = tick_index % self.sample_every == 0
+        if not self._active:
+            return WorkReport()
+        report = TracedWorkReport()
+        self._report = report
+        self._spans = []
+        self._depth = 0
+        self._tick_index = tick_index
+        self._start_us = start_us
+        return report
+
+    def span(self, name: str):
+        """A context manager tracing one named section of the tick."""
+        if not self._active:
+            return _NULL_SPAN
+        return Span(self, name)
+
+    def end_tick(self, record, report) -> None:
+        """Close the tick: fold accumulators, ring the dump, watch slowness."""
+        dump = None
+        if self._active:
+            self.ticks_sampled += 1
+            spans = self._spans
+            dump = {
+                "tick": record.index,
+                "start_us": record.start_us,
+                "duration_us": record.duration_us,
+                "work_us": record.work_us,
+                "spans": spans,
+            }
+            phases = self.phases
+            for span in spans:
+                if span.depth != 1:
+                    continue
+                acc = phases.get(span.name)
+                if acc is None:
+                    acc = phases[span.name] = MetricAccumulator(
+                        span.name, tail_size=0
+                    )
+                acc.update(span.cost_us)
+            self._ring[self._ring_next] = dump
+            self._ring_next = (self._ring_next + 1) % self.retain_ticks
+            if self._ring_count < self.retain_ticks:
+                self._ring_count += 1
+            self._report = None
+            self._active = False
+        if record.duration_us > self.slow_tick_factor * self.budget_us:
+            self.slow_ticks += 1
+            self.anomalies.append(self._anomaly(record, report, dump))
+
+    # -- flight recorder -----------------------------------------------------
+
+    def _anomaly(self, record, report, dump: dict | None) -> dict:
+        """One slow-tick dump: vitals, top-k op costs, span tree if sampled."""
+        costs = report.cost_us(self.cost_table)
+        top = sorted(costs.items(), key=lambda kv: (-kv[1], kv[0]))
+        top = top[: self.top_ops]
+        return {
+            "tick": record.index,
+            "start_us": record.start_us,
+            "duration_us": record.duration_us,
+            "work_us": record.work_us,
+            "budget_us": self.budget_us,
+            "factor": record.duration_us / self.budget_us,
+            "clients": record.clients,
+            "entities": record.entities,
+            "breakdown_us": dict(record.breakdown_us),
+            "top_ops": [[op, report.get(op), us] for op, us in top],
+            "spans": (
+                [compact_span(span) for span in dump["spans"]]
+                if dump is not None
+                else None
+            ),
+        }
+
+    # -- introspection / export ----------------------------------------------
+
+    @property
+    def last_dump(self) -> dict | None:
+        """The most recent sampled tick's dump (spans as objects)."""
+        if self._ring_count == 0:
+            return None
+        return self._ring[(self._ring_next - 1) % self.retain_ticks]
+
+    def recent_ticks(self, max_ticks: int | None = None) -> list[dict]:
+        """Retained sampled-tick dumps, oldest first."""
+        count = self._ring_count
+        if max_ticks is not None:
+            count = min(count, max_ticks)
+        start = self._ring_next - count
+        return [
+            self._ring[i % self.retain_ticks]
+            for i in range(start, self._ring_next)
+        ]
+
+    def snapshot(self, max_ticks: int | None = None) -> dict:
+        """JSON-able trace state: knobs, phase stats, anomalies, span dumps.
+
+        This is what :func:`repro.core.experiment.run_iteration` files
+        under ``telemetry["trace"]`` — and therefore what the campaign
+        sidecars stream and ``repro trace export`` renders.
+        """
+        limit = self.export_ticks if max_ticks is None else max_ticks
+        return {
+            "enabled": True,
+            "sample_every": self.sample_every,
+            "slow_tick_factor": self.slow_tick_factor,
+            "budget_us": self.budget_us,
+            "ticks_seen": self.ticks_seen,
+            "ticks_sampled": self.ticks_sampled,
+            "slow_ticks": self.slow_ticks,
+            "phases": {
+                name: acc.snapshot(include_tail=False)
+                for name, acc in sorted(self.phases.items())
+            },
+            "anomalies": list(self.anomalies),
+            "ticks": [
+                {
+                    "tick": dump["tick"],
+                    "start_us": dump["start_us"],
+                    "duration_us": dump["duration_us"],
+                    "work_us": dump["work_us"],
+                    "spans": [compact_span(span) for span in dump["spans"]],
+                }
+                for dump in self.recent_ticks(limit)
+            ],
+        }

@@ -1,0 +1,177 @@
+"""Perf-baseline gate: compare semantics, machine calibration, and the
+CLI exit codes CI keys off."""
+
+import json
+
+import pytest
+
+from repro.tracing.perf_baseline import (
+    DEFAULT_TOLERANCE,
+    compare,
+    main,
+    measure_calibration,
+    write_baseline,
+)
+
+BASELINE = {
+    "calibration_s": 0.100,
+    "tolerance": 0.20,
+    "figures": {
+        "benchmarks/bench_fig11.py": 10.0,
+        "benchmarks/bench_fig09.py": 4.0,
+    },
+}
+
+
+class TestCompare:
+    def test_within_budget_is_ok(self):
+        rows, regressions = compare(
+            {"benchmarks/bench_fig11.py": 11.9}, BASELINE, 0.100
+        )
+        assert regressions == []
+        by_name = {row["figure"]: row for row in rows}
+        assert by_name["benchmarks/bench_fig11.py"]["status"] == "ok"
+        # The other baseline figure was not in this run: skipped, never
+        # failed, so partial local runs stay gateable.
+        assert by_name["benchmarks/bench_fig09.py"]["status"] == "missing"
+
+    def test_regression_past_tolerance(self):
+        rows, regressions = compare(
+            {"benchmarks/bench_fig11.py": 12.1}, BASELINE, 0.100
+        )
+        assert len(regressions) == 1
+        assert regressions[0]["figure"] == "benchmarks/bench_fig11.py"
+        assert regressions[0]["status"] == "REGRESSION"
+
+    def test_machine_factor_scales_the_budget(self):
+        # Twice-as-slow machine: budget doubles, 19s still fits 10s base.
+        _, regressions = compare(
+            {"benchmarks/bench_fig11.py": 19.0}, BASELINE, 0.200
+        )
+        assert regressions == []
+        # Twice-as-fast machine: the same 19s is a blatant regression.
+        _, regressions = compare(
+            {"benchmarks/bench_fig11.py": 19.0}, BASELINE, 0.050
+        )
+        assert len(regressions) == 1
+
+    def test_new_figures_never_fail(self):
+        rows, regressions = compare(
+            {"benchmarks/bench_new.py": 99.0}, BASELINE, 0.100
+        )
+        assert regressions == []
+        assert any(row["status"] == "new" for row in rows)
+
+    def test_tolerance_override_wins(self):
+        _, regressions = compare(
+            {"benchmarks/bench_fig11.py": 11.9},
+            BASELINE,
+            0.100,
+            tolerance=0.0,
+        )
+        assert len(regressions) == 1
+
+
+class TestBaselineFile:
+    def test_write_baseline_shape(self, tmp_path):
+        path = write_baseline(
+            tmp_path / "BENCH_fig11.json",
+            {"benchmarks/bench_b.py": 2.3456, "benchmarks/bench_a.py": 1.0},
+            calibration_s=0.123,
+        )
+        payload = json.loads(path.read_text())
+        assert payload["calibration_s"] == 0.123
+        assert payload["tolerance"] == DEFAULT_TOLERANCE
+        assert payload["figures"]["benchmarks/bench_b.py"] == 2.346
+        assert payload["provenance"]["fingerprint"]
+        assert payload["provenance"]["captured_at"]
+
+    def test_calibration_is_positive_and_repeatable(self):
+        first = measure_calibration()
+        second = measure_calibration()
+        assert first > 0
+        # Same machine, seconds apart: within 4x of each other even on a
+        # noisy box (the factor only corrects cross-machine scale).
+        assert 0.25 < first / second < 4.0
+
+
+class TestMain:
+    def _write(self, path, payload):
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    def test_gate_ok_and_regression_exit_codes(self, tmp_path, capsys):
+        cal = measure_calibration()
+        baseline = self._write(
+            tmp_path / "base.json",
+            {
+                "calibration_s": cal,
+                "tolerance": 0.20,
+                "figures": {"benchmarks/bench_x.py": 10.0},
+            },
+        )
+        ok = self._write(
+            tmp_path / "ok.json", {"benchmarks/bench_x.py": 10.0}
+        )
+        assert main(["--runtimes", ok, "--baseline", baseline]) == 0
+        assert "perf trajectory OK" in capsys.readouterr().out
+        bad = self._write(
+            tmp_path / "bad.json", {"benchmarks/bench_x.py": 100.0}
+        )
+        assert main(["--runtimes", bad, "--baseline", baseline]) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err
+
+    def test_missing_inputs_exit_2(self, tmp_path):
+        assert (
+            main(["--runtimes", str(tmp_path / "nope.json")]) == 2
+        )
+        runtimes = self._write(tmp_path / "run.json", {"f": 1.0})
+        assert (
+            main(
+                [
+                    "--runtimes",
+                    runtimes,
+                    "--baseline",
+                    str(tmp_path / "nobase.json"),
+                ]
+            )
+            == 2
+        )
+
+    def test_update_writes_the_baseline(self, tmp_path, monkeypatch):
+        runtimes = self._write(
+            tmp_path / "run.json", {"benchmarks/bench_x.py": 3.0}
+        )
+        baseline = tmp_path / "BENCH_fig11.json"
+        assert (
+            main(
+                [
+                    "--runtimes",
+                    runtimes,
+                    "--baseline",
+                    str(baseline),
+                    "--update",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(baseline.read_text())
+        assert payload["figures"] == {"benchmarks/bench_x.py": 3.0}
+        # Env-var form (what a CI "update" job would set).
+        monkeypatch.setenv("METERSTICK_UPDATE_BASELINE", "1")
+        assert (
+            main(["--runtimes", runtimes, "--baseline", str(baseline)]) == 0
+        )
+        assert baseline.exists()
+
+    def test_gate_without_update_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("METERSTICK_UPDATE_BASELINE", raising=False)
+        cal = measure_calibration()
+        baseline = self._write(
+            tmp_path / "base.json",
+            {"calibration_s": cal, "figures": {"benchmarks/bench_x.py": 5.0}},
+        )
+        runtimes = self._write(
+            tmp_path / "run.json", {"benchmarks/bench_x.py": 5.0}
+        )
+        assert main(["--runtimes", runtimes, "--baseline", baseline]) == 0

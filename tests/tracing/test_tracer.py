@@ -1,0 +1,295 @@
+"""Tracer correctness: exact reconciliation, sampling, bit-identity,
+the flight recorder, and the tick-loop overhead bound.
+
+The load-bearing invariants:
+
+* merging a sampled tick's top-level span deltas and re-pricing them
+  through :class:`WorkReport` reproduces the tick's ``breakdown_us`` —
+  and, with the post-pricing ``flush`` span excluded, its ``work_us`` —
+  **bit for bit** (integer op counts subtract exactly as floats);
+* ``trace=False`` runs are bit-identical with traced runs of the same
+  seed: the tracer observes the simulation, it never perturbs it;
+* full-rate tracing (``trace_sample_every=1``) costs at most 5% of the
+  tick loop's wall time.
+"""
+
+import gc
+import time
+
+import numpy as np
+import pytest
+
+from repro.cloud.providers import get_environment
+from repro.emulation.swarm import BotSwarm
+from repro.mlg.constants import TICK_BUDGET_US
+from repro.mlg.server import MLGServer
+from repro.mlg.workreport import WorkReport
+from repro.simtime import SimClock
+from repro.tracing.tracer import (
+    NULL_TRACER,
+    Tracer,
+    TracedWorkReport,
+    merge_span_ops,
+)
+from repro.workloads import get_workload
+
+
+def _traced_server(seed=5, **trace_kwargs):
+    """A players-workload server with its bot swarm, ready to tick."""
+    env = get_environment("das5-2core")
+    machine = env.create_machine(seed=seed)
+    workload = get_workload(
+        "players", scale=1.0, n_bots=25, behavior="bounded-random"
+    )
+    world = workload.create_world(seed)
+    server = MLGServer(
+        "vanilla",
+        machine,
+        world=world,
+        clock=SimClock(),
+        seed=seed,
+        **trace_kwargs,
+    )
+    rng = np.random.default_rng(seed ^ 0x5EED)
+    swarm = BotSwarm(server, env.network, rng)
+    workload.install(server, swarm)
+    server.start()
+    return server, swarm
+
+
+class TestReconciliation:
+    def test_span_merge_reproduces_breakdown_and_work_exactly(self):
+        server, swarm = _traced_server(trace=True)
+        table = server.variant.cost_table
+        for _ in range(150):
+            record = server.loop.run_tick()
+            swarm.step()
+            dump = server.tracer.last_dump
+            assert dump["tick"] == record.index
+
+            merged = WorkReport()
+            merged.counts = merge_span_ops(dump["spans"])
+            assert merged.bucketed_cost_us(table) == record.breakdown_us
+
+            # work_us was priced *before* the flush span's ops landed,
+            # so excluding "flush" reproduces it exactly.
+            pre_flush = WorkReport()
+            pre_flush.counts = merge_span_ops(
+                dump["spans"], exclude=("flush",)
+            )
+            assert pre_flush.total_cost_us(table) == record.work_us
+
+    def test_phase_accumulator_totals_match_span_costs(self):
+        server, swarm = _traced_server(trace=True)
+        totals: dict[str, float] = {}
+        for _ in range(60):
+            server.loop.run_tick()
+            swarm.step()
+            for span in server.tracer.last_dump["spans"]:
+                if span.depth == 1:
+                    totals[span.name] = (
+                        totals.get(span.name, 0.0) + span.cost_us
+                    )
+        snap = server.tracer.snapshot()
+        assert set(snap["phases"]) == set(totals)
+        for name, acc in snap["phases"].items():
+            assert acc["count"] == 60
+            assert acc["mean"] * acc["count"] == pytest.approx(totals[name])
+
+    def test_traced_report_tallies_like_plain_report(self):
+        plain, traced = WorkReport(), TracedWorkReport()
+        for report in (plain, traced):
+            report.add("op_a", 3)
+            report.add("op_b", 2.0)
+            report.add("op_a", 1)
+            report.add("op_zero", 0)
+            other = WorkReport()
+            other.add("op_b", 5)
+            other.add("op_c", 1)
+            report.merge(other)
+        assert traced.counts == plain.counts
+        assert list(traced.counts) == list(plain.counts)
+        # With no span open, counts IS the (only) base segment.
+        assert traced.segments == [traced.counts]
+        with pytest.raises(ValueError):
+            traced.add("op_a", -1)
+
+    def test_mid_span_reads_merge_open_segments(self):
+        # The game loop prices the tick *inside* the pricing span, so
+        # reads must see base + every open segment, not just the
+        # innermost one.
+        table = {"op_a": 2.0, "op_b": 10.0}
+        tracer = Tracer(table, budget_us=TICK_BUDGET_US)
+        report = tracer.begin_tick(0, 0)
+        report.add("op_a", 3)
+        with tracer.span("outer"):
+            report.add("op_b", 1)
+            with tracer.span("inner"):
+                report.add("op_a", 4)
+                assert report.get("op_a") == 7.0
+                assert report.total_cost_us(table) == 24.0
+                assert report.bucketed_cost_us(table) == {"Other": 24.0}
+                assert sorted(report.nonzero_ops()) == ["op_a", "op_b"]
+                assert report.copy().counts == {"op_a": 7.0, "op_b": 1.0}
+        # All spans closed: the base segment holds the full tally.
+        assert report.counts == {"op_a": 7.0, "op_b": 1.0}
+        assert report.segments == [report.counts]
+
+
+class TestSampling:
+    def test_sample_every_n_captures_every_nth_tick(self):
+        server, swarm = _traced_server(trace=True, trace_sample_every=4)
+        for _ in range(40):
+            server.loop.run_tick()
+            swarm.step()
+        tracer = server.tracer
+        assert tracer.ticks_seen == 40
+        assert tracer.ticks_sampled == 10
+        assert [d["tick"] % 4 for d in tracer.recent_ticks()] == [0] * 10
+        # Accumulators fold sampled ticks only.
+        assert all(
+            acc["count"] == 10
+            for acc in tracer.snapshot()["phases"].values()
+        )
+
+    def test_unsampled_ticks_use_plain_reports_and_null_spans(self):
+        tracer = Tracer({}, budget_us=TICK_BUDGET_US, sample_every=2)
+        sampled = tracer.begin_tick(0, 0)
+        assert isinstance(sampled, TracedWorkReport)
+        with tracer.span("phase") as span:
+            assert span is not None
+        unsampled = tracer.begin_tick(1, 0)
+        assert type(unsampled) is WorkReport
+        with tracer.span("phase") as span:
+            assert span is None
+
+    def test_ring_buffer_bounds_retention(self):
+        server, swarm = _traced_server(trace=True)
+        server.tracer.retain_ticks = 8
+        server.tracer._ring = [None] * 8
+        for _ in range(20):
+            server.loop.run_tick()
+            swarm.step()
+        dumps = server.tracer.recent_ticks()
+        assert [d["tick"] for d in dumps] == list(range(12, 20))
+
+    def test_null_tracer_is_inert(self):
+        report = NULL_TRACER.begin_tick(0, 0)
+        assert type(report) is WorkReport
+        with NULL_TRACER.span("anything") as span:
+            assert span is None
+        assert NULL_TRACER.snapshot() == {"enabled": False}
+
+
+class TestBitIdentity:
+    def test_trace_off_and_on_produce_identical_ticks(self):
+        base, base_swarm = _traced_server(trace=False)
+        traced, traced_swarm = _traced_server(trace=True)
+        assert base.tracer is NULL_TRACER
+        for _ in range(120):
+            base.loop.run_tick()
+            base_swarm.step()
+            traced.loop.run_tick()
+            traced_swarm.step()
+        assert base.loop.records == traced.loop.records
+
+
+class TestFlightRecorder:
+    def test_slow_ticks_are_dumped_with_top_ops_and_spans(self):
+        # Threshold far below any real tick: everything is "slow".
+        server, swarm = _traced_server(trace=True, slow_tick_factor=0.001)
+        for _ in range(30):
+            server.loop.run_tick()
+            swarm.step()
+        tracer = server.tracer
+        assert tracer.slow_ticks == 30
+        anomaly = tracer.anomalies[-1]
+        assert anomaly["factor"] > 0.001
+        assert anomaly["spans"], "sampled tick must attach its span tree"
+        costs = [us for _, _, us in anomaly["top_ops"]]
+        assert costs == sorted(costs, reverse=True)
+        assert len(costs) <= tracer.top_ops
+
+    def test_recorder_watches_unsampled_ticks_without_span_tree(self):
+        server, swarm = _traced_server(
+            trace=True, trace_sample_every=1000, slow_tick_factor=0.001
+        )
+        server.loop.run_tick()  # tick 0: sampled
+        swarm.step()
+        server.loop.run_tick()  # tick 1: unsampled, still watched
+        swarm.step()
+        sampled, unsampled = list(server.tracer.anomalies)
+        assert sampled["spans"]
+        assert unsampled["spans"] is None
+        assert unsampled["top_ops"]
+
+    def test_anomaly_deque_is_bounded(self):
+        server, swarm = _traced_server(trace=True, slow_tick_factor=0.001)
+        server.tracer.anomalies = type(server.tracer.anomalies)(maxlen=5)
+        for _ in range(12):
+            server.loop.run_tick()
+            swarm.step()
+        assert len(server.tracer.anomalies) == 5
+        assert [a["tick"] for a in server.tracer.anomalies] == list(
+            range(7, 12)
+        )
+
+
+class TestOverhead:
+    BLOCK = 25  # ticks per timed block
+
+    def _block_times(self, reps: int, n_blocks: int) -> tuple[list, list]:
+        """Per-block wall times, ``[rep][block]``, for off and on runs.
+
+        Bit-identity makes block *i* of an off run and block *i* of an
+        on run the same simulated work (same seed, same tick indices),
+        so the pair is directly comparable.  Blocks alternate off/on
+        within a rep so scheduler and thermal drift tax both variants
+        evenly.
+        """
+        off = [[0.0] * n_blocks for _ in range(reps)]
+        on = [[0.0] * n_blocks for _ in range(reps)]
+        gc.collect()  # GC pauses land on whichever block is unlucky
+        gc.disable()
+        try:
+            for rep in range(reps):
+                pair = [
+                    (_traced_server(trace=False), off[rep]),
+                    (_traced_server(trace=True), on[rep]),
+                ]
+                if rep % 2:
+                    pair.reverse()
+                for block in range(n_blocks):
+                    for (server, swarm), times in pair:
+                        start = time.perf_counter()
+                        for _ in range(self.BLOCK):
+                            server.loop.run_tick()
+                            swarm.step()
+                        times[block] = time.perf_counter() - start
+        finally:
+            gc.enable()
+        return off, on
+
+    def _overhead_pct(self, reps: int, n_blocks: int) -> float:
+        # Noise only ever slows a block down, so the honest estimate of
+        # each block's true cost is its minimum across reps; a single
+        # spike poisons one block of one rep, not a whole run.
+        off, on = self._block_times(reps, n_blocks)
+        best_off = sum(
+            min(rep[block] for rep in off) for block in range(n_blocks)
+        )
+        best_on = sum(
+            min(rep[block] for rep in on) for block in range(n_blocks)
+        )
+        return 100.0 * (best_on - best_off) / best_off
+
+    def test_full_rate_tracing_overhead_within_5pct(self):
+        self._block_times(1, 2)  # warm code paths before timing
+        # Escalating retries before failing: on a loaded box (CI, or
+        # mid-suite after hundreds of tests) measurement noise can
+        # exceed the real ~3% overhead; more reps tighten the minima.
+        for reps, n_blocks in ((4, 6), (6, 8), (8, 10)):
+            overhead = self._overhead_pct(reps, n_blocks)
+            if overhead <= 5.0:
+                break
+        assert overhead <= 5.0, f"tracing overhead {overhead:+.1f}% > 5%"
