@@ -9,7 +9,9 @@ Two artifacts:
 * a complete traced mini-campaign exported to Chrome trace-event JSON
   and collated flight-recorder anomalies under ``benchmarks/out/trace/``
   (uploaded from CI as the ``benchmark-trace`` artifact, so every PR
-  ships a Perfetto-loadable trace of the current tick loop).
+  ships a Perfetto-loadable trace of the current tick loop), plus the
+  same campaign's self-contained HTML report rendered from its sidecars
+  into ``benchmarks/out/report/`` (the ``benchmark-report`` artifact).
 """
 
 import json
@@ -22,9 +24,12 @@ from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import JobStore
 from repro.core.experiment import run_iteration
 from repro.core.visualization import format_table
+from repro.reporting.dataset import load_dataset
+from repro.reporting.html import write_report
 from repro.tracing.chrome import render_campaign_trace
 
 TRACE_DIR = OUT_DIR / "trace"
+REPORT_DIR = OUT_DIR / "report"
 
 #: Paired-run duration (simulated seconds) for the overhead measurement.
 OVERHEAD_DURATION_S = 8.0
@@ -125,6 +130,13 @@ def test_traced_campaign_trace_artifacts(benchmark, out_dir, tmp_path):
         "\n".join(anomalies) + "\n" if anomalies else ""
     )
 
+    # Render the same campaign's HTML report from its sidecars (default
+    # output: section; the trajectory panel reads the committed baseline
+    # and perf history next to this file).
+    dataset = load_dataset(store, bench_dir=OUT_DIR.parent)
+    written = write_report(dataset, out_dir=REPORT_DIR)
+    report_html = written["html"].read_text()
+
     events = trace["traceEvents"]
     kinds = sorted({event["ph"] for event in events})
     rows = [
@@ -136,6 +148,8 @@ def test_traced_campaign_trace_artifacts(benchmark, out_dir, tmp_path):
         ["event kinds", ", ".join(kinds)],
         ["anomaly dumps", f"{len(anomalies)}"],
         ["trace.json", f"{trace_path.stat().st_size / 1e3:.0f} kB"],
+        ["report.html",
+         f"{written['html'].stat().st_size / 1e3:.0f} kB"],
     ]
     text = format_table(["metric", "value"], rows)
     text += (
@@ -147,3 +161,6 @@ def test_traced_campaign_trace_artifacts(benchmark, out_dir, tmp_path):
     assert trace["otherData"]["traced_jobs"] == 2
     assert {"M", "X", "b", "e"} <= set(kinds)
     assert anomalies, "slow_tick_factor=0.5 should trip the recorder"
+    assert "<svg" in report_html
+    assert 'class="banner' in report_html
+    assert (REPORT_DIR / "report_grid.csv").exists()

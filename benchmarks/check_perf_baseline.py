@@ -9,6 +9,11 @@ benchmark suite)::
     python benchmarks/check_perf_baseline.py --update   # rewrite baseline
 
 Exit codes: 0 OK, 1 perf regression, 2 missing inputs.
+
+Every run (gate or update, pass or fail) appends its verdict — machine
+factor plus per-figure deltas and budget ratios — to
+``benchmarks/out/perf_history.jsonl``; the campaign report's
+perf-trajectory panel reads that history.
 """
 
 import sys

@@ -31,6 +31,7 @@ from repro.simtime import SimClock
 __all__ = [
     "FigureResult",
     "campaign_grid",
+    "sidecar_grid",
     "run_cell",
     "fig1_response_time",
     "fig6_isr_model",
@@ -307,6 +308,43 @@ def fig12_node_sizes(duration_s: float = 60.0, seed: int = 7) -> FigureResult:
 # -- Campaign results: the Fig.-8-style ISR grid from measured data --------------
 
 
+def _grid_row(
+    grid: FigureResult,
+    *,
+    environment,
+    workload,
+    server,
+    scale,
+    n_bots,
+    behavior,
+    iteration,
+    isr,
+    crashed,
+    tick_mean_ms,
+    tick_p95_ms,
+    tick_max_ms,
+    throttled_ticks,
+) -> dict:
+    """One Fig.-8-style grid row — the single place its columns and
+    their order are defined, shared by the shard-backed and the
+    sidecar-backed grid so both CSVs line up column for column."""
+    return grid.row(
+        environment=environment,
+        workload=workload,
+        server=server,
+        scale=scale,
+        n_bots=n_bots,
+        behavior=behavior,
+        iteration=iteration,
+        isr=isr,
+        crashed=crashed,
+        tick_mean_ms=tick_mean_ms,
+        tick_p95_ms=tick_p95_ms,
+        tick_max_ms=tick_max_ms,
+        throttled_ticks=throttled_ticks,
+    )
+
+
 def campaign_grid(result: ExperimentResult) -> FigureResult:
     """Fig. 8's (environment × workload × server) ISR grid, computed from
     an already-measured :class:`ExperimentResult` instead of fresh runs.
@@ -318,7 +356,8 @@ def campaign_grid(result: ExperimentResult) -> FigureResult:
     grid = FigureResult("campaign")
     for it in result.iterations:
         stats = it.tick_stats()
-        grid.row(
+        _grid_row(
+            grid,
             environment=it.environment,
             workload=it.workload,
             server=it.server,
@@ -332,6 +371,36 @@ def campaign_grid(result: ExperimentResult) -> FigureResult:
             tick_p95_ms=stats["p95"],
             tick_max_ms=stats["max"],
             throttled_ticks=it.throttled_ticks,
+        )
+    return grid
+
+
+def sidecar_grid(rows: list[dict]) -> FigureResult:
+    """:func:`campaign_grid`'s column set, computed from flattened
+    telemetry-sidecar report rows instead of merged shards.
+
+    This is how ``repro report`` writes its grid CSV without ever
+    loading a shard: sidecars carry every summary statistic the grid
+    needs except ``throttled_ticks`` (a shard-only counter), which
+    renders empty.
+    """
+    grid = FigureResult("campaign")
+    for row in rows:
+        _grid_row(
+            grid,
+            environment=row.get("environment"),
+            workload=row.get("workload"),
+            server=row.get("server"),
+            scale=row.get("scale"),
+            n_bots=row.get("n_bots"),
+            behavior=row.get("behavior"),
+            iteration=row.get("iteration"),
+            isr=row.get("isr"),
+            crashed=row.get("crashed"),
+            tick_mean_ms=row.get("tick_mean_ms"),
+            tick_p95_ms=row.get("tick_p95_ms"),
+            tick_max_ms=row.get("tick_max_ms"),
+            throttled_ticks=None,
         )
     return grid
 

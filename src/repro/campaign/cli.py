@@ -6,6 +6,8 @@ Usage (also via the ``repro`` console script)::
     python -m repro resume campaign.yaml --jobs 4
     python -m repro status meterstick-out/
     python -m repro export meterstick-out/ --out analysis/
+    python -m repro report meterstick-out/
+    python -m repro report campaign.yaml --update-output
     python -m repro trace export meterstick-out/
     python -m repro world prepare worlds/control --workload control
     python -m repro world inspect worlds/control
@@ -75,6 +77,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--boxplot",
         action="store_true",
         help="print an ASCII tick-duration box plot per server",
+    )
+
+    report = sub.add_parser(
+        "report",
+        help="render the self-contained HTML report from the on-disk "
+        "telemetry sidecars (no re-simulation)",
+    )
+    report.add_argument(
+        "target", help="campaign spec file or campaign output directory"
+    )
+    report.add_argument(
+        "--out",
+        default=None,
+        help="report directory (default: <output_dir>/report)",
+    )
+    report.add_argument(
+        "--update-output",
+        action="store_true",
+        help="persist the spec file's output: section into the campaign "
+        "manifest before rendering (job shards are never touched)",
+    )
+    report.add_argument(
+        "--bench-dir",
+        default=None,
+        help="benchmarks directory for the perf-trajectory panel "
+        "(default: ./benchmarks when it holds BENCH_fig11.json)",
     )
 
     trace = sub.add_parser(
@@ -352,6 +380,55 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.reporting.dataset import load_dataset
+    from repro.reporting.html import write_report
+    from repro.reporting.spec import OutputSpec
+
+    target_is_file = Path(args.target).is_file()
+    spec = _load_spec(args.target)
+    store = JobStore(spec.output_dir)
+    if args.update_output:
+        # Presentation-only manifest rewrite: the output: section is
+        # outside the measurement fingerprint and ignored on resume.
+        store.update_manifest_output(spec.output)
+    dataset = load_dataset(store, bench_dir=_bench_dir(args.bench_dir))
+    # A spec-file target renders that file's (possibly edited) output:
+    # section; a directory target renders what the manifest recorded.
+    output_dict = spec.output if target_is_file else dataset.spec.get("output")
+    output = OutputSpec.from_dict(output_dict)
+    out_dir = Path(args.out) if args.out else store.report_dir
+    written = write_report(dataset, output, out_dir=out_dir)
+    hygiene = dataset.hygiene or {}
+    print(
+        f"Rendered {len(dataset.rows)} iteration(s) across "
+        f"{dataset.completed_jobs}/{dataset.total_jobs} job(s) to "
+        f"{written['html']}"
+    )
+    if hygiene:
+        print(
+            f"measurement hygiene: {hygiene.get('status', '?')} "
+            f"({hygiene.get('warn_count', 0)} warning(s))"
+        )
+    if dataset.partial:
+        print(
+            "warning: partial campaign — the report covers only what has "
+            "landed on disk; resume the campaign for the full matrix",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _bench_dir(requested: str | None) -> Path | None:
+    """The benchmarks directory for the perf-trajectory panel."""
+    if requested is not None:
+        return Path(requested)
+    default = Path("benchmarks")
+    if (default / "BENCH_fig11.json").is_file():
+        return default
+    return None
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.tracing.chrome import render_campaign_trace
 
@@ -473,6 +550,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_status(args)
         if args.command == "export":
             return _cmd_export(args)
+        if args.command == "report":
+            return _cmd_report(args)
         if args.command == "trace":
             return _cmd_trace(args)
         if args.command == "world":

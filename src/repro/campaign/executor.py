@@ -23,7 +23,10 @@ from repro.core.results import ExperimentResult, IterationResult
 from repro.campaign.planner import Job, JobPlanner
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import JobStore
-from repro.tracing.provenance import provenance_fingerprint
+from repro.tracing.provenance import (
+    measurement_config,
+    provenance_fingerprint,
+)
 
 __all__ = [
     "CampaignExecutor",
@@ -36,8 +39,9 @@ __all__ = [
 ProgressFn = Callable[[Job, int, int], None]
 
 #: Spec fields that may differ between run and resume: where results are
-#: stored and how many workers run — never what gets measured.
-_RESUME_IGNORED_FIELDS = ("output_dir", "jobs")
+#: stored, how many workers run, and how results are presented — never
+#: what gets measured.
+_RESUME_IGNORED_FIELDS = ("output_dir", "jobs", "output")
 
 
 def _ensure_spec_unchanged(recorded: dict, current: dict, root) -> None:
@@ -240,14 +244,18 @@ class CampaignExecutor:
             )
         # The manifest carries the campaign's provenance fingerprint —
         # the only timestamped one: shards and sidecars must stay
-        # byte-identical across re-runs, the manifest need not.
-        self.store.write_manifest(
-            self.spec,
-            plan,
-            provenance=provenance_fingerprint(
-                self.spec.to_dict(), include_timestamp=True
-            ),
+        # byte-identical across re-runs, the manifest need not.  The
+        # measurement-hygiene snapshot (host conditions vs the spec's
+        # ``system:`` requests) rides along *outside* the digest: probes
+        # read live host state (load average, affinity), which must not
+        # perturb the measurement fingerprint.
+        from repro.reporting.hygiene import hygiene_snapshot
+
+        provenance = provenance_fingerprint(
+            measurement_config(self.spec.to_dict()), include_timestamp=True
         )
+        provenance["hygiene"] = hygiene_snapshot(self.spec.system)
+        self.store.write_manifest(self.spec, plan, provenance=provenance)
         warm_start = time.perf_counter()
         if self.spec.warm_world_cache:
             self._ensure_world_caches(plan)

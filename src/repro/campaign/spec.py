@@ -136,6 +136,17 @@ class CampaignSpec:
 
     overrides: list[dict] = field(default_factory=list)
 
+    # -- presentation & provenance (never change what gets simulated) -----
+    #: ``output:`` report declaration (pivots, plots, html/csv names);
+    #: empty mapping -> the default report.  Editable after a campaign
+    #: ran — ``repro report --update-output`` re-renders without
+    #: touching job shards.  See :mod:`repro.reporting.spec`.
+    output: dict = field(default_factory=dict)
+    #: ``system:`` measurement-hygiene requests (governor, SMT, ASLR,
+    #: boost, CPU isolation, load ceiling).  Probed against the host at
+    #: run start and stamped into the manifest's provenance.
+    system: dict = field(default_factory=dict)
+
     def __post_init__(self) -> None:
         self.validate()
 
@@ -199,6 +210,14 @@ class CampaignSpec:
                 f"slow_tick_factor must be positive: "
                 f"{self.slow_tick_factor!r}"
             )
+        if self.output:
+            from repro.reporting.spec import validate_output
+
+            validate_output(self.output)
+        if self.system:
+            from repro.reporting.spec import validate_system
+
+            validate_system(self.system)
         cell_fields = {attr for _, attr in MATRIX_AXES}
         for index, override in enumerate(self.overrides):
             if not isinstance(override, dict) or set(override) - {

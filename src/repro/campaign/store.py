@@ -40,6 +40,7 @@ __all__ = ["JobStore"]
 MANIFEST_NAME = "manifest.json"
 SHARD_DIR = "jobs"
 TELEMETRY_DIR = "telemetry"
+REPORT_DIR = "report"
 
 
 def _iteration_from_dict(raw: dict) -> IterationResult:
@@ -80,6 +81,11 @@ class JobStore:
     def campaign_trace_path(self) -> Path:
         return self.root / "campaign_trace.json"
 
+    @property
+    def report_dir(self) -> Path:
+        """Where ``repro report`` renders by default."""
+        return self.root / REPORT_DIR
+
     # -- manifest -----------------------------------------------------------
 
     def write_manifest(
@@ -111,6 +117,24 @@ class JobStore:
                 f"no campaign manifest at {self.manifest_path}"
             )
         return CampaignSpec.from_dict(manifest["spec"])
+
+    def update_manifest_output(self, output: dict) -> Path:
+        """Rewrite only the manifest spec's ``output:`` section.
+
+        ``output`` is presentation-layer (outside the measurement
+        fingerprint and ignored by resume), so ``repro report
+        --update-output`` may persist an edited report declaration
+        without invalidating jobs, shards, or provenance — the rewrite
+        is atomic and touches nothing else in the manifest.
+        """
+        manifest = self.read_manifest()
+        if manifest is None:
+            raise FileNotFoundError(
+                f"no campaign manifest at {self.manifest_path}"
+            )
+        manifest.setdefault("spec", {})["output"] = output
+        self._write_atomic(self.manifest_path, manifest)
+        return self.manifest_path
 
     def manifest_jobs(self) -> list[Job]:
         manifest = self.read_manifest()

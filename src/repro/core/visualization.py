@@ -1,17 +1,20 @@
 """Data Visualization component (Fig. 5, #10).
 
-Produces the benchmark's standard outputs without a plotting dependency:
-ASCII box plots and time-series sparklines for the terminal, and CSV
-series files for users who bring their own plotting scripts (R6).
+The renderer implementations live in :mod:`repro.reporting.text` — the
+reporting engine is the single code path for tables, CSV files, and
+ASCII plots — and are re-exported here under their historical names so
+existing imports (CLI, benchmarks, examples) keep working unchanged.
 """
 
 from __future__ import annotations
 
-import csv
-from collections.abc import Sequence
-from pathlib import Path
-
-from repro.metrics import box_stats
+from repro.reporting.text import (
+    ascii_boxplot,
+    ascii_timeseries,
+    format_table,
+    write_csv_rows,
+    write_csv_series,
+)
 
 __all__ = [
     "ascii_boxplot",
@@ -20,118 +23,3 @@ __all__ = [
     "write_csv_series",
     "write_csv_rows",
 ]
-
-
-def ascii_boxplot(
-    labeled_series: list[tuple[str, Sequence[float]]],
-    width: int = 60,
-    lo: float | None = None,
-    hi: float | None = None,
-    unit: str = "ms",
-) -> str:
-    """Render horizontal box plots (p5 — p25 [median] p75 — p95).
-
-    One line per series: ``label |----[==|==]----| (median unit)``.
-    """
-    if not labeled_series:
-        return "(no data)"
-    stats = [(label, box_stats(values)) for label, values in labeled_series]
-    lo = lo if lo is not None else min(s.minimum for _, s in stats)
-    hi = hi if hi is not None else max(s.p95 * 1.05 for _, s in stats)
-    if hi <= lo:
-        hi = lo + 1.0
-    span = hi - lo
-    label_width = max(len(label) for label, _ in stats)
-
-    def col(value: float) -> int:
-        clamped = min(max(value, lo), hi)
-        return int((clamped - lo) / span * (width - 1))
-
-    lines = []
-    for label, s in stats:
-        row = [" "] * width
-        for x in range(col(s.p5), col(s.p95) + 1):
-            row[x] = "-"
-        for x in range(col(s.p25), col(s.p75) + 1):
-            row[x] = "="
-        row[col(s.median)] = "|"
-        lines.append(
-            f"{label:<{label_width}} {''.join(row)} "
-            f"(med {s.median:.1f} {unit}, p95 {s.p95:.1f})"
-        )
-    lines.append(
-        f"{'':<{label_width}} scale: {lo:.1f} .. {hi:.1f} {unit}"
-    )
-    return "\n".join(lines)
-
-
-_SPARK_CHARS = " .:-=+*#%@"
-
-
-def ascii_timeseries(
-    values: Sequence[float],
-    width: int = 80,
-    height_label: str = "",
-    hi: float | None = None,
-) -> str:
-    """Downsample a series into a one-line density sparkline."""
-    if len(values) == 0:
-        return "(no data)"
-    hi = hi if hi is not None else max(values)
-    if hi <= 0:
-        hi = 1.0
-    bucket = max(1, len(values) // width)
-    cells = []
-    for i in range(0, len(values), bucket):
-        window = values[i : i + bucket]
-        peak = max(window)
-        level = min(len(_SPARK_CHARS) - 1, int(peak / hi * (len(_SPARK_CHARS) - 1)))
-        cells.append(_SPARK_CHARS[level])
-    suffix = f"  (peak {max(values):.1f}{height_label})"
-    return "".join(cells) + suffix
-
-
-def format_table(
-    headers: Sequence[str], rows: Sequence[Sequence[object]]
-) -> str:
-    """Plain-text table with padded columns."""
-    str_rows = [[str(cell) for cell in row] for row in rows]
-    widths = [
-        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows
-        else len(headers[i])
-        for i in range(len(headers))
-    ]
-    def fmt(row: Sequence[str]) -> str:
-        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
-
-    lines = [fmt(list(headers)), fmt(["-" * w for w in widths])]
-    lines.extend(fmt(row) for row in str_rows)
-    return "\n".join(lines)
-
-
-def write_csv_series(
-    path: str | Path, column_name: str, values: Sequence[float]
-) -> Path:
-    """Write one series as a two-column (index, value) CSV."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(["index", column_name])
-        for i, value in enumerate(values):
-            writer.writerow([i, value])
-    return path
-
-
-def write_csv_rows(
-    path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[object]]
-) -> Path:
-    """Write arbitrary rows with a header line."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w", newline="") as handle:
-        writer = csv.writer(handle)
-        writer.writerow(list(headers))
-        for row in rows:
-            writer.writerow(list(row))
-    return path

@@ -1,0 +1,243 @@
+"""Load a campaign's on-disk artifacts into report-ready data.
+
+The report engine consumes *only* what a campaign already wrote to disk
+— it never re-simulates anything:
+
+- ``manifest.json`` — spec, planned jobs, provenance (+ hygiene);
+- ``telemetry/<job>.jsonl`` — one streamed line per finished iteration
+  (these exist for in-flight and killed jobs too, which is what lets a
+  half-completed campaign render with a "partial" banner);
+- ``telemetry/<job>.anomalies.jsonl`` — slow-tick flight-recorder dumps;
+- ``campaign_trace.json`` — executor phase timings;
+- ``benchmarks/BENCH_fig11.json`` + ``benchmarks/out/perf_history.jsonl``
+  — the committed perf baseline and the appended gate history, for the
+  perf-trajectory panel (optional; the panel is skipped without them).
+
+Each sidecar line becomes one flat *report row*: the cell's axis fields
+(:data:`repro.reporting.spec.AXIS_FIELDS`) plus every derivable metric
+(:data:`repro.reporting.spec.METRIC_FIELDS`).  Rows are ordered by
+planned job index then iteration, so two renders of the same campaign
+directory are byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.reporting.spec import AXIS_FIELDS
+
+__all__ = ["CampaignDataset", "JobView", "load_dataset", "sidecar_row"]
+
+
+def sidecar_row(job_dict: dict, line: dict) -> dict:
+    """Flatten one telemetry sidecar line into a report row."""
+    telemetry = line.get("telemetry") or {}
+    tick = telemetry.get("tick") or {}
+    snap = tick.get("tick_ms") or {}
+    windows = tick.get("windows") or {}
+    response = telemetry.get("response_ms") or {}
+    trace = telemetry.get("trace") or {}
+    row = {axis: job_dict.get(axis) for axis in AXIS_FIELDS}
+    row["iteration"] = line.get("iteration", 0)
+    row["seed"] = line.get("seed")
+    row["job_id"] = job_dict.get("job_id")
+    buckets = tick.get("breakdown_us") or {}
+    bucket_total = sum(buckets.values())
+    top_bucket, top_share = None, None
+    if bucket_total > 0:
+        top_bucket, top_us = max(
+            buckets.items(), key=lambda kv: (kv[1], kv[0])
+        )
+        top_share = top_us / bucket_total
+    row.update(
+        {
+            "crashed": bool(line.get("crashed")),
+            "isr": line.get("isr"),
+            "ticks": tick.get("ticks"),
+            "tick_mean_ms": snap.get("mean"),
+            "tick_p50_ms": snap.get("p50"),
+            "tick_p95_ms": snap.get("p95"),
+            "tick_p99_ms": snap.get("p99"),
+            "tick_max_ms": snap.get("max"),
+            "tick_cov": snap.get("cov"),
+            "overloaded_fraction": tick.get("overloaded_fraction"),
+            "entities_peak": tick.get("entities_peak"),
+            "response_p50_ms": response.get("p50"),
+            "response_p99_ms": response.get("p99"),
+            "steady": windows.get("steady"),
+            "warmup_samples": windows.get("warmup_samples"),
+            "slow_ticks": trace.get("slow_ticks"),
+            "anomaly_count": trace.get("anomaly_count"),
+            "top_bucket": top_bucket,
+            "top_bucket_share": top_share,
+        }
+    )
+    return row
+
+
+@dataclass
+class JobView:
+    """One planned job plus everything its sidecars streamed."""
+
+    job: dict
+    done: bool
+    expected_iterations: int
+    lines: list[dict] = field(default_factory=list)
+    anomalies: list[dict] = field(default_factory=list)
+
+    @property
+    def job_id(self) -> str:
+        return self.job["job_id"]
+
+    @property
+    def cell_label(self) -> str:
+        parts = [self.job.get(axis) for axis in AXIS_FIELDS[:-1]]
+        return " ".join(f"{part:g}" if isinstance(part, float) else str(part)
+                        for part in parts)
+
+    @property
+    def iterations_done(self) -> int:
+        return len(self.lines)
+
+    @property
+    def latest_windows(self) -> dict:
+        """The most recent iteration's warmup/steady window snapshot."""
+        if not self.lines:
+            return {}
+        telemetry = self.lines[-1].get("telemetry") or {}
+        return (telemetry.get("tick") or {}).get("windows") or {}
+
+
+@dataclass
+class CampaignDataset:
+    """Everything the renderers need, loaded once from disk."""
+
+    root: Path
+    name: str
+    spec: dict
+    provenance: dict
+    jobs: list[JobView]
+    rows: list[dict]
+    campaign_trace: dict | None
+    bench_baseline: dict | None
+    bench_history: list[dict]
+
+    @property
+    def hygiene(self) -> dict | None:
+        return self.provenance.get("hygiene")
+
+    @property
+    def total_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def completed_jobs(self) -> int:
+        return sum(1 for view in self.jobs if view.done)
+
+    @property
+    def expected_iterations(self) -> int:
+        return sum(view.expected_iterations for view in self.jobs)
+
+    @property
+    def seen_iterations(self) -> int:
+        return sum(view.iterations_done for view in self.jobs)
+
+    @property
+    def partial(self) -> bool:
+        """True when any planned work has not landed on disk yet."""
+        return (
+            self.completed_jobs < self.total_jobs
+            or self.seen_iterations < self.expected_iterations
+        )
+
+    @property
+    def anomalies(self) -> list[dict]:
+        """All flight-recorder dumps, in planned job order."""
+        return [
+            anomaly for view in self.jobs for anomaly in view.anomalies
+        ]
+
+
+def _expected_iterations(spec, job_dict: dict) -> int:
+    """Per-cell iteration count (``iterations`` is overridable)."""
+    try:
+        from repro.campaign.planner import Job
+
+        return spec.cell_config(Job.from_dict(job_dict).cell).iterations
+    except Exception:
+        return getattr(spec, "iterations", 1)
+
+
+def load_dataset(
+    store, bench_dir: str | Path | None = None
+) -> CampaignDataset:
+    """Read one campaign's artifacts from a
+    :class:`~repro.campaign.store.JobStore`.
+
+    ``bench_dir`` points at the repository's ``benchmarks/`` directory
+    for the perf-trajectory panel; pass ``None`` to skip it.
+    """
+    from repro.campaign.spec import CampaignSpec
+
+    manifest = store.read_manifest()
+    if manifest is None:
+        raise FileNotFoundError(
+            f"no campaign manifest at {store.manifest_path}"
+        )
+    spec_dict = manifest.get("spec") or {}
+    try:
+        spec = CampaignSpec.from_dict(spec_dict)
+    except (TypeError, ValueError):
+        spec = None
+    completed = store.completed_ids()
+    jobs: list[JobView] = []
+    rows: list[dict] = []
+    for job_dict in sorted(
+        manifest.get("jobs", ()), key=lambda job: job["index"]
+    ):
+        view = JobView(
+            job=job_dict,
+            done=job_dict["job_id"] in completed,
+            expected_iterations=(
+                _expected_iterations(spec, job_dict)
+                if spec is not None
+                else int(spec_dict.get("iterations", 1))
+            ),
+            lines=store.read_job_telemetry(job_dict["job_id"]),
+            anomalies=store.read_job_anomalies(job_dict["job_id"]),
+        )
+        jobs.append(view)
+        rows.extend(sidecar_row(job_dict, line) for line in view.lines)
+    bench_baseline = None
+    bench_history: list[dict] = []
+    if bench_dir is not None:
+        bench_dir = Path(bench_dir)
+        baseline_path = bench_dir / "BENCH_fig11.json"
+        if baseline_path.is_file():
+            try:
+                bench_baseline = json.loads(baseline_path.read_text())
+            except json.JSONDecodeError:
+                bench_baseline = None
+        history_path = bench_dir / "out" / "perf_history.jsonl"
+        if history_path.is_file():
+            for raw in history_path.read_text().splitlines():
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    bench_history.append(json.loads(raw))
+                except json.JSONDecodeError:
+                    continue  # torn trailing line
+    return CampaignDataset(
+        root=Path(store.root),
+        name=manifest.get("name", spec_dict.get("name", "campaign")),
+        spec=spec_dict,
+        provenance=manifest.get("provenance") or {},
+        jobs=jobs,
+        rows=rows,
+        campaign_trace=store.read_campaign_trace(),
+        bench_baseline=bench_baseline,
+        bench_history=bench_history,
+    )

@@ -1,0 +1,329 @@
+"""Measurement-hygiene probes: the conditions a campaign ran under.
+
+"Overhead Measurement Noise in Different Runtime Environments"
+(PAPERS.md) shows runtime-environment knobs — frequency governor, SMT,
+ASLR, turbo boost, CPU pinning, background load — shifting benchmark
+results by more than the effects under study.  The defence mirrors run
+provenance: probe the host *once, at campaign start*, compare what was
+observed against what the spec's ``system:`` section requested, and
+stamp the findings into the campaign manifest's provenance.  The HTML
+report then leads with a pass/warn hygiene banner, so a figure can
+never be separated from the conditions it was measured under.
+
+Probes read ``/sys`` and ``/proc`` (and ``os`` APIs) and *never fail a
+run*: an unreadable knob (container, non-Linux host) is reported as
+``unknown``, not an error.  Every probe takes an optional filesystem
+root so tests can fake a host.
+
+Finding statuses:
+
+``ok``
+    the observed value satisfies the spec's request, or — with no
+    request — matches measurement best practice;
+``warn``
+    a request is unmet, or a known-noisy condition was observed;
+``info``
+    observed and recorded, nothing requested and no known hazard;
+``unknown``
+    the knob could not be read on this host.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+__all__ = ["HYGIENE_PROBES", "hygiene_snapshot"]
+
+#: Probe name -> sysfs/procfs source (informational; shown in reports).
+HYGIENE_PROBES = {
+    "governor": "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor",
+    "smt": "/sys/devices/system/cpu/smt/active",
+    "aslr": "/proc/sys/kernel/randomize_va_space",
+    "boost": "/sys/devices/system/cpu/cpufreq/boost",
+    "no_turbo": "/sys/devices/system/cpu/intel_pstate/no_turbo",
+    "load_1m": "os.getloadavg()",
+    "affinity": "os.sched_getaffinity(0)",
+}
+
+
+def _read(root: Path, path: str) -> str | None:
+    try:
+        return (root / path.lstrip("/")).read_text().strip()
+    except OSError:
+        return None
+
+
+def _finding(
+    probe: str,
+    observed,
+    requested=None,
+    *,
+    status: str,
+    detail: str,
+) -> dict:
+    return {
+        "probe": probe,
+        "observed": observed,
+        "requested": requested,
+        "status": status,
+        "detail": detail,
+    }
+
+
+def _probe_governor(root: Path, requests: dict) -> dict:
+    observed = _read(
+        root, "/sys/devices/system/cpu/cpu0/cpufreq/scaling_governor"
+    )
+    requested = requests.get("governor")
+    if observed is None:
+        return _finding(
+            "governor",
+            None,
+            requested,
+            status="unknown",
+            detail="cpufreq scaling_governor not readable on this host",
+        )
+    if requested is not None:
+        if observed == requested:
+            return _finding(
+                "governor",
+                observed,
+                requested,
+                status="ok",
+                detail=f"governor is {observed!r} as requested",
+            )
+        return _finding(
+            "governor",
+            observed,
+            requested,
+            status="warn",
+            detail=f"governor is {observed!r}, spec requested {requested!r}",
+        )
+    if observed == "performance":
+        return _finding(
+            "governor",
+            observed,
+            None,
+            status="ok",
+            detail="fixed-frequency 'performance' governor",
+        )
+    return _finding(
+        "governor",
+        observed,
+        None,
+        status="warn",
+        detail=(
+            f"governor {observed!r} rescales CPU frequency under load; "
+            "benchmark practice is 'performance'"
+        ),
+    )
+
+
+def _probe_smt(root: Path, requests: dict) -> dict:
+    observed = _read(root, "/sys/devices/system/cpu/smt/active")
+    requested = requests.get("disable_smt")
+    if observed is None:
+        return _finding(
+            "smt",
+            None,
+            requested,
+            status="unknown",
+            detail="SMT state not readable on this host",
+        )
+    active = observed != "0"
+    if requested and active:
+        return _finding(
+            "smt",
+            active,
+            requested,
+            status="warn",
+            detail="SMT is active but the spec requested it off",
+        )
+    status = "ok" if requested else "info"
+    return _finding(
+        "smt",
+        active,
+        requested,
+        status=status,
+        detail="SMT active" if active else "SMT off",
+    )
+
+
+def _probe_aslr(root: Path, requests: dict) -> dict:
+    observed = _read(root, "/proc/sys/kernel/randomize_va_space")
+    requested = requests.get("disable_aslr")
+    if observed is None:
+        return _finding(
+            "aslr",
+            None,
+            requested,
+            status="unknown",
+            detail="randomize_va_space not readable on this host",
+        )
+    enabled = observed != "0"
+    if requested and enabled:
+        return _finding(
+            "aslr",
+            enabled,
+            requested,
+            status="warn",
+            detail=(
+                f"ASLR is on (randomize_va_space={observed}) but the "
+                "spec requested it off"
+            ),
+        )
+    status = "ok" if requested else "info"
+    return _finding(
+        "aslr",
+        enabled,
+        requested,
+        status=status,
+        detail=f"randomize_va_space={observed}",
+    )
+
+
+def _probe_boost(root: Path, requests: dict) -> dict:
+    requested = requests.get("disable_boost")
+    boost = _read(root, "/sys/devices/system/cpu/cpufreq/boost")
+    no_turbo = _read(root, "/sys/devices/system/cpu/intel_pstate/no_turbo")
+    if boost is not None:
+        enabled = boost != "0"
+    elif no_turbo is not None:
+        enabled = no_turbo == "0"
+    else:
+        return _finding(
+            "boost",
+            None,
+            requested,
+            status="unknown",
+            detail="no cpufreq boost / intel_pstate no_turbo knob found",
+        )
+    if requested and enabled:
+        return _finding(
+            "boost",
+            enabled,
+            requested,
+            status="warn",
+            detail=(
+                "frequency boost is enabled but the spec requested it off"
+            ),
+        )
+    status = "ok" if requested else "info"
+    return _finding(
+        "boost",
+        enabled,
+        requested,
+        status=status,
+        detail="frequency boost enabled" if enabled else "boost off",
+    )
+
+
+def _probe_load(requests: dict) -> dict:
+    requested = requests.get("max_load_1m")
+    try:
+        load_1m = round(os.getloadavg()[0], 2)
+    except (OSError, AttributeError):
+        return _finding(
+            "load_1m",
+            None,
+            requested,
+            status="unknown",
+            detail="load average unavailable on this host",
+        )
+    if requested is not None:
+        if load_1m > requested:
+            return _finding(
+                "load_1m",
+                load_1m,
+                requested,
+                status="warn",
+                detail=(
+                    f"1-minute load {load_1m} exceeds the spec's ceiling "
+                    f"of {requested}"
+                ),
+            )
+        return _finding(
+            "load_1m",
+            load_1m,
+            requested,
+            status="ok",
+            detail=f"1-minute load {load_1m} within ceiling {requested}",
+        )
+    return _finding(
+        "load_1m",
+        load_1m,
+        None,
+        status="info",
+        detail=f"1-minute load average {load_1m} at campaign start",
+    )
+
+
+def _probe_affinity(requests: dict) -> dict:
+    requested = requests.get("isolate_cpus")
+    requested_list = sorted(requested) if requested is not None else None
+    try:
+        affinity = sorted(os.sched_getaffinity(0))
+    except (OSError, AttributeError):
+        return _finding(
+            "affinity",
+            None,
+            requested_list,
+            status="unknown",
+            detail="CPU affinity unavailable on this host",
+        )
+    if requested_list is not None:
+        if affinity == requested_list:
+            return _finding(
+                "affinity",
+                affinity,
+                requested_list,
+                status="ok",
+                detail=f"pinned to CPUs {requested_list} as requested",
+            )
+        return _finding(
+            "affinity",
+            affinity,
+            requested_list,
+            status="warn",
+            detail=(
+                f"running on CPUs {affinity}, spec requested isolation "
+                f"to {requested_list}"
+            ),
+        )
+    return _finding(
+        "affinity",
+        affinity,
+        None,
+        status="info",
+        detail=f"schedulable on {len(affinity)} CPU(s)",
+    )
+
+
+def hygiene_snapshot(
+    requests: dict | None = None, root: str | Path = "/"
+) -> dict:
+    """Probe the host against a ``system:`` request mapping.
+
+    Returns a JSON-able report: the requests, every probe finding, and
+    an overall ``status`` (``pass`` when nothing warned, else ``warn``)
+    with a warn count — what the executor stamps into the campaign
+    manifest's provenance and the HTML report renders as its banner.
+    """
+    requests = dict(requests or {})
+    root = Path(root)
+    findings = [
+        _probe_governor(root, requests),
+        _probe_smt(root, requests),
+        _probe_aslr(root, requests),
+        _probe_boost(root, requests),
+        _probe_load(requests),
+        _probe_affinity(requests),
+    ]
+    warnings = [f for f in findings if f["status"] == "warn"]
+    return {
+        "requests": requests,
+        "probes": findings,
+        "warn_count": len(warnings),
+        "status": "warn" if warnings else "pass",
+    }

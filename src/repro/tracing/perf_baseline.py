@@ -36,7 +36,9 @@ import numpy as np
 from repro.tracing.provenance import provenance_fingerprint
 
 __all__ = [
+    "append_history",
     "compare",
+    "history_entry",
     "main",
     "measure_calibration",
     "write_baseline",
@@ -149,6 +151,62 @@ def compare(
     return rows, regressions
 
 
+def history_entry(
+    kind: str,
+    status: str,
+    rows: list[dict],
+    machine_factor: float,
+    tolerance: float,
+) -> dict:
+    """One ``perf_history.jsonl`` record: the gate's full verdict.
+
+    Per-figure ``ratio`` is ``current_s / budget_s`` — 1.0 means exactly
+    on the machine-scaled budget, above 1.0 was a gate failure — so
+    entries appended on different machines stay comparable.  ``update``
+    entries carry current seconds but no ratios (there was nothing to
+    gate against).
+    """
+    figures: dict[str, dict] = {}
+    for row in rows:
+        budget_s = row.get("budget_s")
+        current_s = row.get("current_s")
+        figures[row["figure"]] = {
+            "baseline_s": row.get("baseline_s"),
+            "current_s": current_s,
+            "budget_s": budget_s,
+            "delta_s": (
+                round(current_s - row["baseline_s"], 3)
+                if current_s is not None and row.get("baseline_s") is not None
+                else None
+            ),
+            "ratio": (
+                round(current_s / budget_s, 4)
+                if current_s is not None and budget_s
+                else None
+            ),
+            "status": row["status"],
+        }
+    return {
+        "captured_at": time.strftime(
+            "%Y-%m-%dT%H:%M:%S%z", time.localtime()
+        ),
+        "kind": kind,
+        "status": status,
+        "machine_factor": round(machine_factor, 4),
+        "tolerance": tolerance,
+        "figures": figures,
+    }
+
+
+def append_history(path: str | Path, entry: dict) -> Path:
+    """Append one record to the JSONL history (created on first use)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as history:
+        history.write(json.dumps(entry, sort_keys=True) + "\n")
+    return path
+
+
 def _load(path: Path, what: str) -> dict:
     if not path.exists():
         raise FileNotFoundError(f"no {what} at {path}")
@@ -182,7 +240,21 @@ def main(argv: list[str] | None = None) -> int:
         help="rewrite the baseline from the current runtimes "
         "(also via METERSTICK_UPDATE_BASELINE=1)",
     )
+    parser.add_argument(
+        "--history",
+        default=None,
+        help="JSONL file every run (gate or update, pass or fail) is "
+        "appended to (default: perf_history.jsonl next to --runtimes; "
+        "--history '' disables)",
+    )
     args = parser.parse_args(argv)
+    history_path: Path | None
+    if args.history == "":
+        history_path = None
+    elif args.history is not None:
+        history_path = Path(args.history)
+    else:
+        history_path = Path(args.runtimes).parent / "perf_history.jsonl"
     update = args.update or (
         os.environ.get("METERSTICK_UPDATE_BASELINE", "0") == "1"
     )
@@ -203,6 +275,26 @@ def main(argv: list[str] | None = None) -> int:
             f"baseline updated: {path} ({len(runtimes)} figure(s), "
             f"calibration {calibration_s * 1000:.1f} ms)"
         )
+        if history_path is not None:
+            rows = [
+                {"figure": name, "current_s": seconds, "status": "updated"}
+                for name, seconds in sorted(runtimes.items())
+            ]
+            append_history(
+                history_path,
+                history_entry(
+                    "update",
+                    "updated",
+                    rows,
+                    machine_factor=1.0,
+                    tolerance=(
+                        args.tolerance
+                        if args.tolerance is not None
+                        else DEFAULT_TOLERANCE
+                    ),
+                ),
+            )
+            print(f"history: appended update entry to {history_path}")
         return 0
     try:
         baseline = _load(Path(args.baseline), "committed baseline")
@@ -231,6 +323,22 @@ def main(argv: list[str] | None = None) -> int:
             f"{_col('budget', row.get('budget_s'))}  "
             f"{row['status']}"
         )
+    if history_path is not None:
+        append_history(
+            history_path,
+            history_entry(
+                "gate",
+                "regression" if regressions else "ok",
+                rows,
+                machine_factor=factor,
+                tolerance=(
+                    args.tolerance
+                    if args.tolerance is not None
+                    else float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+                ),
+            ),
+        )
+        print(f"history: appended gate entry to {history_path}")
     if regressions:
         names = ", ".join(row["figure"] for row in regressions)
         print(

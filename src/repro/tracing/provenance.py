@@ -42,16 +42,20 @@ __all__ = [
     "provenance_fingerprint",
 ]
 
-#: Config fields that locate storage or size the worker pool — they do
-#: not affect what gets measured, so iteration-level provenance strips
-#: them (two runs into different output dirs must fingerprint the same,
-#: or the serial/parallel byte-identity of shards would break).
+#: Config fields that locate storage, size the worker pool, or shape
+#: presentation — they do not affect what gets measured, so provenance
+#: strips them (two runs into different output dirs must fingerprint the
+#: same, or the serial/parallel byte-identity of shards would break).
+#: ``output`` (the campaign report declaration) is here so editing a
+#: report layout and re-rendering with ``repro report --update-output``
+#: never invalidates a recorded measurement fingerprint.
 _NON_MEASUREMENT_FIELDS = (
     "output_dir",
     "world_dir",
     "world_cache_dir",
     "jobs",
     "resume",
+    "output",
 )
 
 

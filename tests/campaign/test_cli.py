@@ -103,6 +103,20 @@ class TestCli:
         assert main(["status", str(tmp_path / "nope")]) == 2
         assert "error:" in capsys.readouterr().err
 
+    @pytest.mark.parametrize("verb", ["status", "export", "report"])
+    def test_verbs_on_dir_without_manifest_error_cleanly(
+        self, verb, tmp_path, capsys
+    ):
+        # A directory that exists but was never a campaign output dir:
+        # one clear error naming the missing manifest, nonzero exit.
+        empty = tmp_path / "not-a-campaign"
+        empty.mkdir()
+        assert main([verb, str(empty)]) == 2
+        captured = capsys.readouterr()
+        assert captured.err.count("error:") == 1
+        assert "manifest" in captured.err
+        assert str(empty) in captured.err
+
     def test_export_without_completed_jobs_errors(
         self, spec_file, tmp_path, capsys
     ):

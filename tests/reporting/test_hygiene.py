@@ -1,0 +1,137 @@
+"""Hygiene probes against a faked sysfs/procfs root."""
+
+import pytest
+
+from repro.reporting.hygiene import HYGIENE_PROBES, hygiene_snapshot
+
+
+def fake_host(
+    tmp_path,
+    governor="performance",
+    smt="0",
+    aslr="0",
+    boost="0",
+):
+    """Materialize the sysfs/procfs files the probes read."""
+    cpufreq = tmp_path / "sys/devices/system/cpu/cpu0/cpufreq"
+    cpufreq.mkdir(parents=True)
+    (cpufreq / "scaling_governor").write_text(governor + "\n")
+    smt_dir = tmp_path / "sys/devices/system/cpu/smt"
+    smt_dir.mkdir(parents=True)
+    (smt_dir / "active").write_text(smt + "\n")
+    proc = tmp_path / "proc/sys/kernel"
+    proc.mkdir(parents=True)
+    (proc / "randomize_va_space").write_text(aslr + "\n")
+    boost_dir = tmp_path / "sys/devices/system/cpu/cpufreq"
+    boost_dir.mkdir(parents=True, exist_ok=True)
+    (boost_dir / "boost").write_text(boost + "\n")
+    return tmp_path
+
+
+def by_probe(snapshot):
+    return {finding["probe"]: finding for finding in snapshot["probes"]}
+
+
+class TestProbes:
+    def test_quiet_host_with_requests_passes(self, tmp_path):
+        root = fake_host(tmp_path)
+        snapshot = hygiene_snapshot(
+            {
+                "governor": "performance",
+                "disable_smt": True,
+                "disable_aslr": True,
+                "disable_boost": True,
+                "max_load_1m": 1e9,
+            },
+            root=root,
+        )
+        assert snapshot["status"] == "pass"
+        assert snapshot["warn_count"] == 0
+        findings = by_probe(snapshot)
+        for probe in ("governor", "smt", "aslr", "boost", "load_1m"):
+            assert findings[probe]["status"] == "ok", findings[probe]
+
+    def test_unmet_requests_warn(self, tmp_path):
+        root = fake_host(
+            tmp_path, governor="ondemand", smt="1", aslr="2", boost="1"
+        )
+        snapshot = hygiene_snapshot(
+            {
+                "governor": "performance",
+                "disable_smt": True,
+                "disable_aslr": True,
+                "disable_boost": True,
+            },
+            root=root,
+        )
+        assert snapshot["status"] == "warn"
+        findings = by_probe(snapshot)
+        for probe in ("governor", "smt", "aslr", "boost"):
+            assert findings[probe]["status"] == "warn", findings[probe]
+        assert snapshot["warn_count"] >= 4
+        assert "'performance'" in findings["governor"]["detail"]
+
+    def test_non_performance_governor_warns_even_unrequested(
+        self, tmp_path
+    ):
+        root = fake_host(tmp_path, governor="powersave")
+        snapshot = hygiene_snapshot(root=root)
+        assert by_probe(snapshot)["governor"]["status"] == "warn"
+
+    def test_observed_only_conditions_are_info_not_warn(self, tmp_path):
+        # No requests: SMT on / ASLR on / boost on are recorded, not
+        # punished — the banner must not cry wolf on default hosts.
+        root = fake_host(tmp_path, smt="1", aslr="2", boost="1")
+        snapshot = hygiene_snapshot(root=root)
+        findings = by_probe(snapshot)
+        for probe in ("smt", "aslr", "boost"):
+            assert findings[probe]["status"] == "info", findings[probe]
+        assert snapshot["status"] == "pass"
+
+    def test_unreadable_knobs_report_unknown_and_never_raise(
+        self, tmp_path
+    ):
+        snapshot = hygiene_snapshot(
+            {"governor": "performance"}, root=tmp_path / "nothing-here"
+        )
+        findings = by_probe(snapshot)
+        for probe in ("governor", "smt", "aslr", "boost"):
+            assert findings[probe]["status"] == "unknown"
+            assert findings[probe]["observed"] is None
+        # unknown is not a warning: absence of evidence stays neutral
+        assert all(
+            finding["status"] != "warn"
+            for probe, finding in findings.items()
+            if probe in ("governor", "smt", "aslr", "boost")
+        )
+
+    def test_intel_pstate_no_turbo_fallback(self, tmp_path):
+        root = fake_host(tmp_path)
+        (
+            tmp_path / "sys/devices/system/cpu/cpufreq/boost"
+        ).unlink()
+        pstate = tmp_path / "sys/devices/system/cpu/intel_pstate"
+        pstate.mkdir()
+        (pstate / "no_turbo").write_text("0\n")
+        snapshot = hygiene_snapshot({"disable_boost": True}, root=root)
+        boost = by_probe(snapshot)["boost"]
+        assert boost["status"] == "warn"
+        assert boost["observed"] is True
+
+    def test_load_ceiling(self, tmp_path):
+        root = fake_host(tmp_path)
+        low = hygiene_snapshot({"max_load_1m": 0.000001}, root=root)
+        assert by_probe(low)["load_1m"]["status"] == "warn"
+        high = hygiene_snapshot({"max_load_1m": 1e9}, root=root)
+        assert by_probe(high)["load_1m"]["status"] == "ok"
+
+    def test_snapshot_is_json_shaped(self, tmp_path):
+        import json
+
+        snapshot = hygiene_snapshot(
+            {"isolate_cpus": [0, 1]}, root=fake_host(tmp_path)
+        )
+        json.dumps(snapshot)  # must not raise
+        assert set(HYGIENE_PROBES) >= {
+            finding["probe"] for finding in snapshot["probes"]
+        } - {"affinity", "load_1m"}

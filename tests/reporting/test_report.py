@@ -1,0 +1,291 @@
+"""End-to-end ``repro report``: rendered from sidecars, byte-stable."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.campaign import JobStore
+from repro.campaign.cli import main
+
+
+SPEC = {
+    "name": "report-tiny",
+    "servers": ["vanilla", "papermc"],
+    "workloads": ["control"],
+    "environments": ["das5-2core"],
+    "bot_counts": [4],
+    "iterations": 2,
+    "duration_s": 1.5,
+    "inter_iteration_gap_s": 0.0,
+    "seed": 3,
+    "trace": True,
+    "slow_tick_factor": 0.5,
+    "system": {"max_load_1m": 1e9},
+    "output": {
+        "html": "report.html",
+        "pivots": [
+            {
+                "title": "median p99 tick (ms)",
+                "value": "tick_p99_ms",
+                "agg": "median",
+                "csv": "p99.csv",
+            }
+        ],
+        "plots": [
+            {"kind": "matrix", "metric": "tick_p50_ms", "x": "iteration"},
+            {"kind": "warmup"},
+            {"kind": "anomalies"},
+            {"kind": "trajectory"},
+        ],
+    },
+}
+
+
+@pytest.fixture(scope="module")
+def campaign(tmp_path_factory):
+    """One tiny traced campaign, run once and shared read-only."""
+    tmp = tmp_path_factory.mktemp("report-campaign")
+    spec = dict(SPEC, output_dir=str(tmp / "out"))
+    spec_path = tmp / "campaign.json"
+    spec_path.write_text(json.dumps(spec))
+    assert main(["run", str(spec_path), "--quiet"]) == 0
+    return tmp
+
+
+def tree_bytes(root):
+    return {
+        path.relative_to(root): path.read_bytes()
+        for path in sorted(root.rglob("*"))
+        if path.is_file()
+    }
+
+
+class TestReportRendering:
+    def test_report_renders_from_sidecars_alone(
+        self, campaign, tmp_path, capsys
+    ):
+        out_dir = campaign / "out"
+        # Shards gone: the report must not need them (sidecars only).
+        stash = tmp_path / "shards"
+        shutil.copytree(out_dir / "jobs", stash)
+        shutil.rmtree(out_dir / "jobs")
+        try:
+            assert main(["report", str(out_dir),
+                         "--out", str(tmp_path / "r")]) == 0
+        finally:
+            shutil.copytree(stash, out_dir / "jobs")
+        html = (tmp_path / "r" / "report.html").read_text()
+        assert "report-tiny" in html
+        assert "median p99 tick (ms)" in html
+        assert "<svg" in html
+        # Sidecar-less shards make every job "incomplete": partial banner.
+        assert "PARTIAL" in html
+
+    def test_report_outputs_and_hygiene_banner(self, campaign, capsys):
+        out_dir = campaign / "out"
+        assert main(["report", str(out_dir)]) == 0
+        stdout = capsys.readouterr().out
+        assert "measurement hygiene:" in stdout
+        report_dir = out_dir / "report"
+        html = (report_dir / "report.html").read_text()
+        # Hygiene banner leads the report, sourced from the manifest.
+        assert 'class="banner banner-pass"' in html or (
+            'class="banner banner-warn"' in html
+        )
+        assert "PARTIAL" not in html
+        # Pivot CSV and the grid CSV share the figure pipeline's columns.
+        assert (report_dir / "p99.csv").read_text().startswith("server,")
+        grid_header = (
+            (report_dir / "report_grid.csv").read_text().splitlines()[0]
+        )
+        from repro.analysis.figures import campaign_grid
+
+        merged = JobStore(out_dir).merge()
+        assert grid_header == ",".join(campaign_grid(merged).rows[0])
+
+    def test_double_render_is_byte_identical(self, campaign, tmp_path):
+        out_dir = campaign / "out"
+        assert main(["report", str(out_dir),
+                     "--out", str(tmp_path / "r1")]) == 0
+        assert main(["report", str(out_dir),
+                     "--out", str(tmp_path / "r2")]) == 0
+        first = tree_bytes(tmp_path / "r1")
+        second = tree_bytes(tmp_path / "r2")
+        assert first == second
+        assert first  # rendered something
+
+    def test_update_output_never_touches_job_shards(
+        self, campaign, capsys
+    ):
+        out_dir = campaign / "out"
+        before = {
+            path: (path.stat().st_mtime_ns, path.read_bytes())
+            for path in sorted(out_dir.rglob("*"))
+            if path.is_file() and path.parts[-2] in ("jobs", "telemetry")
+        }
+        edited = dict(SPEC, output_dir=str(out_dir))
+        edited["output"] = {
+            "pivots": [
+                {"title": "mean ISR", "value": "isr", "csv": "isr.csv"}
+            ],
+            "plots": [{"kind": "matrix", "metric": "isr"}],
+        }
+        spec_path = campaign / "edited.json"
+        spec_path.write_text(json.dumps(edited))
+        assert main(["report", str(spec_path), "--update-output"]) == 0
+        after = {
+            path: (path.stat().st_mtime_ns, path.read_bytes())
+            for path in sorted(out_dir.rglob("*"))
+            if path.is_file() and path.parts[-2] in ("jobs", "telemetry")
+        }
+        assert before == after
+        # The manifest persisted the new output: section...
+        manifest = JobStore(out_dir).read_manifest()
+        assert manifest["spec"]["output"] == edited["output"]
+        # ...and the re-render reflects it.
+        html = (out_dir / "report" / "report.html").read_text()
+        assert "mean ISR" in html
+        assert (out_dir / "report" / "isr.csv").exists()
+        # A directory re-render now uses the persisted section too.
+        assert main(["report", str(out_dir)]) == 0
+        # Restore the original output: section for the tests that follow
+        # (the fixture campaign is shared module-wide).
+        assert main(
+            ["report", str(campaign / "campaign.json"), "--update-output"]
+        ) == 0
+
+    def test_partial_campaign_renders_with_banner(
+        self, campaign, tmp_path, capsys
+    ):
+        partial = tmp_path / "partial"
+        shutil.copytree(campaign / "out", partial)
+        victim = sorted((partial / "jobs").glob("*.json"))[0]
+        victim.unlink()
+        assert main(["report", str(partial)]) == 0
+        captured = capsys.readouterr()
+        assert "partial campaign" in captured.err
+        html = (partial / "report" / "report.html").read_text()
+        assert "PARTIAL" in html
+        assert "1 of 2 job(s) complete" in html
+
+    def test_trajectory_panel_reads_bench_history(
+        self, campaign, tmp_path
+    ):
+        bench = tmp_path / "benchmarks"
+        (bench / "out").mkdir(parents=True)
+        (bench / "BENCH_fig11.json").write_text(
+            json.dumps(
+                {
+                    "calibration_s": 0.01,
+                    "tolerance": 0.2,
+                    "figures": {"benchmarks/bench_x.py": 1.0},
+                    "provenance": {"captured_at": "2026-08-08"},
+                }
+            )
+        )
+        (bench / "out" / "perf_history.jsonl").write_text(
+            json.dumps(
+                {
+                    "kind": "gate",
+                    "status": "ok",
+                    "machine_factor": 1.0,
+                    "captured_at": "2026-08-08T00:00:00",
+                    "figures": {
+                        "benchmarks/bench_x.py": {"ratio": 0.85}
+                    },
+                }
+            )
+            + "\n"
+        )
+        assert main(
+            [
+                "report",
+                str(campaign / "out"),
+                "--out",
+                str(tmp_path / "r"),
+                "--bench-dir",
+                str(bench),
+            ]
+        ) == 0
+        html = (tmp_path / "r" / "report.html").read_text()
+        assert "committed budget" in html
+        assert "1 baseline-gate run(s)" in html
+
+
+class TestManifestHygiene:
+    def test_provenance_carries_hygiene_outside_the_digest(
+        self, campaign
+    ):
+        provenance = JobStore(campaign / "out").read_manifest()[
+            "provenance"
+        ]
+        hygiene = provenance["hygiene"]
+        assert hygiene["status"] in ("pass", "warn")
+        assert hygiene["requests"] == {"max_load_1m": 1e9}
+        assert {p["probe"] for p in hygiene["probes"]} >= {
+            "governor",
+            "load_1m",
+        }
+
+    def test_output_section_is_outside_the_measurement_fingerprint(self):
+        from repro.tracing.provenance import (
+            measurement_config,
+            provenance_fingerprint,
+        )
+
+        base = dict(SPEC, output_dir="a")
+        edited = dict(SPEC, output_dir="b", output={"html": "x.html"})
+        assert provenance_fingerprint(measurement_config(base))[
+            "fingerprint"
+        ] == provenance_fingerprint(measurement_config(edited))[
+            "fingerprint"
+        ]
+
+    def test_resume_ignores_output_edits(self):
+        from repro.campaign.executor import _ensure_spec_unchanged
+
+        recorded = dict(SPEC, output_dir="x")
+        current = dict(recorded, output={"html": "other.html"})
+        _ensure_spec_unchanged(recorded, current, "x")  # must not raise
+        with pytest.raises(ValueError, match="spec changed"):
+            _ensure_spec_unchanged(
+                recorded, dict(recorded, duration_s=99.0), "x"
+            )
+
+
+class TestOutputValidation:
+    def test_unknown_metric_rejected_at_spec_load(self):
+        from repro.campaign.spec import CampaignSpec
+
+        bad = dict(SPEC, output={"pivots": [{"value": "nope"}]})
+        with pytest.raises(ValueError, match="unknown metric"):
+            CampaignSpec.from_dict(bad)
+
+    def test_unknown_output_key_rejected(self):
+        from repro.reporting.spec import validate_output
+
+        with pytest.raises(ValueError, match="unknown keys"):
+            validate_output({"htlm": "typo.html"})
+
+    def test_bad_system_section_rejected(self):
+        from repro.campaign.spec import CampaignSpec
+
+        with pytest.raises(ValueError, match="must be a boolean"):
+            CampaignSpec.from_dict(dict(SPEC, system={"disable_smt": "yes"}))
+        with pytest.raises(ValueError, match="CPU indices"):
+            CampaignSpec.from_dict(
+                dict(SPEC, system={"isolate_cpus": ["a"]})
+            )
+
+    def test_empty_output_section_means_default_report(self):
+        from repro.reporting.spec import OutputSpec, default_output
+
+        parsed = OutputSpec.from_dict({})
+        defaults = default_output()
+        assert [p.label() for p in parsed.pivots] == [
+            p.label() for p in defaults.pivots
+        ]
+        assert [p.label() for p in parsed.plots] == [
+            p.label() for p in defaults.plots
+        ]

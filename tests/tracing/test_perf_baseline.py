@@ -138,6 +138,77 @@ class TestMain:
             == 2
         )
 
+    def test_every_run_appends_to_the_history(self, tmp_path, capsys):
+        cal = measure_calibration()
+        baseline = self._write(
+            tmp_path / "base.json",
+            {
+                "calibration_s": cal,
+                "tolerance": 0.20,
+                "figures": {"benchmarks/bench_x.py": 10.0},
+            },
+        )
+        history = tmp_path / "history.jsonl"
+        ok = self._write(
+            tmp_path / "ok.json", {"benchmarks/bench_x.py": 10.0}
+        )
+        assert main(
+            ["--runtimes", ok, "--baseline", baseline,
+             "--history", str(history)]
+        ) == 0
+        bad = self._write(
+            tmp_path / "bad.json", {"benchmarks/bench_x.py": 100.0}
+        )
+        assert main(
+            ["--runtimes", bad, "--baseline", baseline,
+             "--history", str(history)]
+        ) == 1
+        assert main(
+            ["--runtimes", ok, "--baseline", str(tmp_path / "new.json"),
+             "--update", "--history", str(history)]
+        ) == 0
+        entries = [
+            json.loads(line)
+            for line in history.read_text().splitlines()
+        ]
+        assert [e["status"] for e in entries] == [
+            "ok",
+            "regression",
+            "updated",
+        ]
+        gate = entries[0]["figures"]["benchmarks/bench_x.py"]
+        assert gate["status"] == "ok"
+        assert 0.0 < gate["ratio"] <= 1.0
+        assert gate["delta_s"] == 0.0
+        failed = entries[1]["figures"]["benchmarks/bench_x.py"]
+        assert failed["status"] == "REGRESSION"
+        assert failed["ratio"] > 1.0
+        assert entries[0]["machine_factor"] > 0
+        # Update entries record seconds but no budget ratio.
+        assert (
+            entries[2]["figures"]["benchmarks/bench_x.py"]["ratio"] is None
+        )
+
+    def test_default_history_lands_next_to_runtimes(self, tmp_path):
+        cal = measure_calibration()
+        baseline = self._write(
+            tmp_path / "base.json",
+            {"calibration_s": cal, "figures": {"f": 1.0}},
+        )
+        out = tmp_path / "out"
+        out.mkdir()
+        runtimes = self._write(out / "bench_runtimes.json", {"f": 1.0})
+        assert main(["--runtimes", runtimes, "--baseline", baseline]) == 0
+        assert (out / "perf_history.jsonl").exists()
+        # --history '' opts out.
+        assert main(
+            ["--runtimes", runtimes, "--baseline", baseline,
+             "--history", ""]
+        ) == 0
+        assert len(
+            (out / "perf_history.jsonl").read_text().splitlines()
+        ) == 1
+
     def test_update_writes_the_baseline(self, tmp_path, monkeypatch):
         runtimes = self._write(
             tmp_path / "run.json", {"benchmarks/bench_x.py": 3.0}
