@@ -11,6 +11,7 @@ Usage (also via the ``repro`` console script)::
     python -m repro trace export meterstick-out/
     python -m repro world prepare worlds/control --workload control
     python -m repro world inspect worlds/control
+    python -m repro lint src --baseline
 
 ``run``/``resume`` take a campaign spec file (YAML or JSON);
 ``status``/``export``/``trace`` take either a spec file or a campaign
@@ -18,6 +19,9 @@ output directory (one containing a ``manifest.json``); ``world`` manages
 the region-file world directories used for warm boots and persistence
 runs.  ``trace export`` renders a traced campaign (spec ``trace: true``)
 as Chrome trace-event JSON, loadable in Perfetto or ``chrome://tracing``.
+``lint`` runs the static invariant checkers (:mod:`repro.lint`) that
+guard the determinism and accounting conventions the bit-identity
+claims rest on.
 """
 
 from __future__ import annotations
@@ -149,6 +153,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="scan a world directory: chunk counts, damage, content hash",
     )
     inspect_.add_argument("world_dir", help="world directory to scan")
+
+    from repro.lint.cli import add_lint_parser
+
+    add_lint_parser(sub)
     return parser
 
 
@@ -556,6 +564,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_trace(args)
         if args.command == "world":
             return _cmd_world(args)
+        if args.command == "lint":
+            from repro.lint.cli import run_lint
+
+            return run_lint(args)
     except (FileNotFoundError, FileExistsError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

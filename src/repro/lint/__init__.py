@@ -1,0 +1,34 @@
+"""Meterstick-lint: AST-based invariant checks for measurement hygiene.
+
+Every correctness claim this repo makes — serial==parallel campaigns,
+batched==scalar engines, trace-off==seed-path bit-identity, byte-stable
+report renders — rests on conventions nothing enforced statically: no
+wall-clock or unseeded-RNG reads inside the simulation, complete Op
+cost/bucket registries, knobs threaded consistently through
+``MLGServer`` / ``MeterstickConfig`` / ``CampaignSpec``, and
+timestamp-free provenance fingerprints.  A parity test only catches a
+violation it happens to exercise; these checkers catch the whole class
+at diff time.
+
+Entry points: ``repro lint [paths]`` (see :mod:`repro.lint.cli`) and
+:func:`repro.lint.engine.lint_paths` for programmatic use.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintEngine, lint_paths
+from repro.lint.findings import (
+    Finding,
+    findings_from_json,
+    render_json,
+    render_text,
+)
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintEngine",
+    "findings_from_json",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

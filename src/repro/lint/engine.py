@@ -1,0 +1,328 @@
+"""The lint engine: one AST walk per file, checkers subscribe by node type.
+
+Flow: collect files → parse → per-file visit pass (every checker sees
+the nodes it subscribed to, in one walk) → project ``finalize`` pass
+over the parsed registries → pragma suppression → pragma-hygiene
+findings → stable sort.  Output is byte-deterministic: no timestamps,
+no absolute paths, no dict-order dependence.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path, PurePosixPath
+
+from repro.lint.findings import Finding, sort_findings
+from repro.lint.pragmas import PRAGMA_RULE, Pragma, scan_pragmas
+from repro.lint.rules import ALL_CHECKERS, ORDER_SAFE_SINKS, Checker
+from repro.lint.symbols import ProjectSymbols, _module_constants
+
+__all__ = ["FileContext", "LintEngine", "ProjectContext", "lint_paths"]
+
+
+class ProjectContext:
+    """Run-wide state shared by every checker's ``finalize``."""
+
+    def __init__(self, symbols: ProjectSymbols, full_scan: bool) -> None:
+        self.symbols = symbols
+        #: True when the scan covers the whole ``src/repro`` tree —
+        #: "never used anywhere" registry checks only make sense then.
+        self.full_scan = full_scan
+        self.findings: list[Finding] = []
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+
+class FileContext:
+    """Per-file state handed to checkers during the walk."""
+
+    def __init__(
+        self, rel_path: str, tree: ast.Module, project: ProjectContext
+    ) -> None:
+        self.rel_path = rel_path
+        self.tree = tree
+        self.project = project
+        self.findings: list[Finding] = []
+        #: local alias -> fully dotted module/name it binds.
+        self.imports: dict[str, str] = {}
+        #: module-level literal constants (for resolving metric names).
+        self.constants = _module_constants(tree)
+        self.parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self.parents[child] = parent
+        self._collect_imports()
+
+    def add(self, finding: Finding) -> None:
+        self.findings.append(finding)
+
+    # -- imports & name resolution -----------------------------------------
+
+    def _collect_imports(self) -> None:
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        self.imports[alias.asname] = alias.name
+                    else:
+                        # `import os.path` binds `os`.
+                        head = alias.name.split(".", 1)[0]
+                        self.imports[head] = head
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue  # relative imports stay unresolved
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    self.imports[bound] = f"{node.module}.{alias.name}"
+
+    def dotted_name(self, node: ast.expr) -> str | None:
+        """``np.random.random`` -> ``"numpy.random.random"``.
+
+        Resolves the base name through this file's import aliases;
+        returns None when the base is not an imported module/name (an
+        attribute chain rooted at a local object).
+        """
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        resolved = self.imports.get(current.id)
+        if resolved is None:
+            return None
+        parts.append(resolved)
+        return ".".join(reversed(parts))
+
+    def resolve_str(self, node: ast.expr) -> str | None:
+        """A string literal, or a module-level string constant by name."""
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            return node.value
+        if isinstance(node, ast.Name):
+            value = self.constants.get(node.id)
+            if isinstance(value, str):
+                return value
+        return None
+
+    # -- structural helpers -------------------------------------------------
+
+    def enclosing_function(
+        self, node: ast.AST
+    ) -> ast.FunctionDef | ast.AsyncFunctionDef | None:
+        current = self.parents.get(node)
+        while current is not None:
+            if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return current
+            current = self.parents.get(current)
+        return None
+
+    @staticmethod
+    def function_params(
+        func: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> set[str]:
+        args = func.args
+        return {
+            arg.arg
+            for arg in (
+                *args.posonlyargs,
+                *args.args,
+                *args.kwonlyargs,
+                *((args.vararg,) if args.vararg else ()),
+                *((args.kwarg,) if args.kwarg else ()),
+            )
+        }
+
+    def order_is_safe(self, node: ast.AST) -> bool:
+        """Does ``node``'s (unordered) result feed an order-insensitive
+        sink — ``sorted``/``set``/reducers, a set comprehension, or a
+        membership test?  Climbs through generator/list comprehensions
+        so ``sorted(x for x in d.glob(...))`` counts as safe."""
+        current = node
+        for _ in range(6):
+            parent = self.parents.get(current)
+            if parent is None:
+                return False
+            if isinstance(parent, ast.Call):
+                func = parent.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in ORDER_SAFE_SINKS
+                    and current in parent.args
+                ):
+                    return True
+                return False
+            if isinstance(parent, ast.SetComp):
+                return True
+            if isinstance(parent, ast.Compare):
+                return any(
+                    current is comparator and isinstance(op, (ast.In, ast.NotIn))
+                    for op, comparator in zip(parent.ops, parent.comparators)
+                )
+            if isinstance(
+                parent, (ast.comprehension, ast.GeneratorExp, ast.ListComp)
+            ):
+                current = parent
+                continue
+            return False
+        return False
+
+
+class LintEngine:
+    """Run the checker suite over a set of paths."""
+
+    def __init__(self, root: Path, checkers=ALL_CHECKERS) -> None:
+        self.root = root.resolve()
+        self.checker_classes = checkers
+
+    # -- file collection ----------------------------------------------------
+
+    def collect_files(self, paths: list[Path]) -> list[Path]:
+        files: set[Path] = set()
+        for path in paths:
+            path = path if path.is_absolute() else self.root / path
+            if path.is_dir():
+                files.update(
+                    p
+                    for p in path.rglob("*.py")
+                    if "__pycache__" not in p.parts
+                )
+            elif path.is_file():
+                files.add(path)
+            else:
+                raise FileNotFoundError(f"no such file or directory: {path}")
+        return sorted(files)
+
+    def rel_path(self, path: Path) -> str:
+        try:
+            relative = path.resolve().relative_to(self.root)
+        except ValueError:
+            relative = path
+        return str(PurePosixPath(relative))
+
+    def is_full_scan(self, paths: list[Path]) -> bool:
+        covered = {
+            (p if p.is_absolute() else self.root / p).resolve()
+            for p in paths
+        }
+        for candidate in (
+            self.root,
+            self.root / "src",
+            self.root / "src" / "repro",
+        ):
+            if candidate in covered:
+                return True
+        return False
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self, paths: list[Path]) -> list[Finding]:
+        files = self.collect_files(paths)
+        symbols = ProjectSymbols.load(self.root)
+        project = ProjectContext(symbols, full_scan=self.is_full_scan(paths))
+        checkers: list[Checker] = [cls() for cls in self.checker_classes]
+        dispatch: dict[type, list[Checker]] = {}
+        for checker in checkers:
+            for node_type in checker.interests:
+                dispatch.setdefault(node_type, []).append(checker)
+
+        per_file: list[tuple[str, list[Finding], dict[int, Pragma]]] = []
+        for path in files:
+            rel = self.rel_path(path)
+            source = path.read_text()
+            pragmas = scan_pragmas(source)
+            try:
+                tree = ast.parse(source, filename=rel)
+            except SyntaxError as exc:
+                per_file.append(
+                    (
+                        rel,
+                        [
+                            Finding(
+                                rule=PRAGMA_RULE,
+                                severity="error",
+                                path=rel,
+                                line=exc.lineno or 1,
+                                col=(exc.offset or 0) + 1,
+                                message=f"syntax error: {exc.msg}",
+                            )
+                        ],
+                        pragmas,
+                    )
+                )
+                continue
+            ctx = FileContext(rel, tree, project)
+            applicable = {
+                id(checker): checker.applies_to(rel) for checker in checkers
+            }
+            for node in ast.walk(tree):
+                for checker in dispatch.get(type(node), ()):
+                    if applicable[id(checker)]:
+                        checker.visit(node, ctx)
+            per_file.append((rel, ctx.findings, pragmas))
+
+        for checker in checkers:
+            checker.finalize(project)
+
+        return self._apply_pragmas(per_file, project.findings)
+
+    def _apply_pragmas(
+        self,
+        per_file: list[tuple[str, list[Finding], dict[int, Pragma]]],
+        project_findings: list[Finding],
+    ) -> list[Finding]:
+        """Suppress pragma'd findings, then report pragma hygiene."""
+        pragmas_by_path = {rel: pragmas for rel, _, pragmas in per_file}
+        candidates = [f for _, found, _ in per_file for f in found]
+        candidates.extend(project_findings)
+        kept: list[Finding] = []
+        for finding in candidates:
+            pragma = pragmas_by_path.get(finding.path, {}).get(finding.line)
+            if pragma is not None and pragma.allows(finding.rule):
+                pragma.used.add(finding.rule)
+                continue
+            kept.append(finding)
+        for rel, _, pragmas in per_file:
+            for line in sorted(pragmas):
+                pragma = pragmas[line]
+                if not pragma.justification:
+                    kept.append(
+                        Finding(
+                            rule=PRAGMA_RULE,
+                            severity="warning",
+                            path=rel,
+                            line=pragma.line,
+                            col=pragma.col,
+                            message=(
+                                "pragma without a justification — say *why* "
+                                "this line is allowed to break "
+                                f"{', '.join(pragma.rules)}"
+                            ),
+                        )
+                    )
+                unused = [r for r in pragma.rules if r not in pragma.used]
+                if unused:
+                    kept.append(
+                        Finding(
+                            rule=PRAGMA_RULE,
+                            severity="warning",
+                            path=rel,
+                            line=pragma.line,
+                            col=pragma.col,
+                            message=(
+                                f"unused pragma: {', '.join(unused)} never "
+                                "fired on this line — remove the allowance"
+                            ),
+                        )
+                    )
+        return sort_findings(kept)
+
+
+def lint_paths(
+    paths: list[str | Path], root: str | Path | None = None
+) -> list[Finding]:
+    """Convenience wrapper: lint ``paths`` under ``root`` (default cwd)."""
+    root_path = Path(root) if root is not None else Path.cwd()
+    engine = LintEngine(root_path)
+    return engine.run([Path(p) for p in paths])

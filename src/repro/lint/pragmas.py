@@ -1,0 +1,65 @@
+"""Inline suppression pragmas: ``# lint: allow[MSLnnn] <justification>``.
+
+A pragma on a physical line suppresses the named rules *on that line*
+(the line a finding anchors to, i.e. the AST node's ``lineno``).  Every
+pragma must carry a justification — an allowlist entry nobody can read
+the reason for is itself a hygiene failure — and every pragma must
+actually suppress something, so stale allowlists cannot accumulate.
+Both failure modes are reported as rule ``MSL000``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+__all__ = ["PRAGMA_RULE", "Pragma", "scan_pragmas"]
+
+#: The engine-level rule id for pragma hygiene findings.
+PRAGMA_RULE = "MSL000"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*lint:\s*allow\[(?P<rules>[A-Z0-9,\s]+)\]\s*(?P<reason>.*)$"
+)
+
+
+@dataclass
+class Pragma:
+    """One parsed ``# lint: allow[...]`` comment."""
+
+    line: int
+    col: int
+    rules: tuple[str, ...]
+    justification: str
+    #: Rules this pragma actually suppressed during the run.
+    used: set[str] = field(default_factory=set)
+
+    def allows(self, rule: str) -> bool:
+        return rule in self.rules
+
+
+def scan_pragmas(source: str) -> dict[int, Pragma]:
+    """Parse all pragmas in ``source``, keyed by 1-based line number.
+
+    A plain regex over physical lines is enough here: the pragma grammar
+    forbids ``]`` inside the rule list, and a pragma inside a string
+    literal would be a deliberate attempt to confuse the linter, not an
+    accident worth engineering against.
+    """
+    pragmas: dict[int, Pragma] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = tuple(
+            part.strip()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        pragmas[lineno] = Pragma(
+            line=lineno,
+            col=match.start() + 1,
+            rules=rules,
+            justification=match.group("reason").strip(),
+        )
+    return pragmas

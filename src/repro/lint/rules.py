@@ -1,0 +1,664 @@
+"""The project-specific checkers (MSL001–MSL006).
+
+Each checker subscribes to the AST node types it cares about; the engine
+walks each tree exactly once and dispatches.  Cross-file rules also get
+a ``finalize`` pass over the :class:`~repro.lint.symbols.ProjectSymbols`
+registries after every file has been visited.
+
+Rule inventory (the README carries the user-facing table):
+
+=======  ==============================================================
+MSL001   determinism hazards in simulation/executor paths: wall-clock
+         reads, module-level RNG APIs, unsorted directory listings,
+         iteration over set expressions whose order escapes
+MSL002   op accounting: every ``Op`` constant priced, bucketed, listed
+         in ``Op.ALL``; every ``report.add`` site names a registered Op
+MSL003   knob threading: MLGServer / MeterstickConfig / CampaignSpec
+         declare the same knobs with the same defaults
+MSL004   provenance hygiene: every config/spec field is explicitly
+         fingerprinted or excluded in tracing/provenance.py
+MSL005   telemetry registration: every bus-published metric is in the
+         reporting sidecar-metric registry (and vice versa)
+MSL006   rng discipline: functions taking ``rng``/``seed`` must not
+         construct their own generator; ``default_rng()`` must be seeded
+=======  ==============================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.engine import FileContext, ProjectContext
+
+__all__ = ["ALL_CHECKERS", "Checker", "RULES"]
+
+#: Directories (project-root-relative, posix) that constitute the
+#: deterministic simulation/executor/reporting surface MSL001 polices.
+#: ``tracing`` and ``core`` are deliberately out: provenance manifests
+#: and the perf-baseline harness legitimately read the wall clock.
+SIM_PATH_PREFIXES = (
+    "src/repro/mlg/",
+    "src/repro/workloads/",
+    "src/repro/persistence/",
+    "src/repro/campaign/",
+    "src/repro/reporting/",
+)
+
+#: Wall-clock reads (fully-resolved dotted names).  ``perf_counter`` /
+#: ``monotonic`` are absent on purpose: measuring how long the *harness*
+#: took never feeds the simulation, and banning them would just breed
+#: pragmas on every phase-timing line.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.asctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: numpy.random module-level names that are *not* hazards: constructing
+#: an explicitly-seeded generator is the sanctioned pattern (MSL006
+#: checks the seeding discipline).
+NP_RANDOM_SAFE = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "SeedSequence",
+        "BitGenerator",
+        "PCG64",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+#: Module-level filesystem listing calls with OS-dependent order.
+FS_LISTING_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+
+#: Path-object methods with OS-dependent order.
+FS_LISTING_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+#: Call sinks whose result is order-insensitive, so an unsorted listing
+#: or set iteration feeding them directly is fine.
+ORDER_SAFE_SINKS = frozenset(
+    {"sorted", "set", "frozenset", "len", "sum", "min", "max", "any", "all"}
+)
+
+#: MLGServer.__init__ parameters that are wiring, not knobs: injected
+#: collaborators and server-local tuning that deliberately never appear
+#: on MeterstickConfig.  NB ``world`` collides across layers by name
+#: only: the server takes a World *object*, the config's ``world`` is a
+#: workload name (threaded via the spec's ``workloads`` axis).
+SERVER_LOCAL_PARAMS = frozenset(
+    {"variant", "machine", "world", "clock", "telemetry_window"}
+)
+
+#: Config knobs the campaign layer derives instead of declaring:
+#: ``world_cache_dir`` is computed from ``warm_world_cache`` per cell.
+SPEC_DERIVED_KNOBS = frozenset({"world_cache_dir"})
+
+#: rule id -> (severity, one-line summary) — the registry the CLI and
+#: README table are generated from.
+RULES = {
+    "MSL000": ("warning", "pragma hygiene (missing justification, unused)"),
+    "MSL001": ("error", "determinism hazard in a simulation path"),
+    "MSL002": ("error", "op accounting registry incomplete or stale"),
+    "MSL003": ("error", "config knob not threaded consistently"),
+    "MSL004": ("error", "config field missing a provenance decision"),
+    "MSL005": ("error", "bus metric missing from the sidecar registry"),
+    "MSL006": ("error", "rng constructed instead of threaded"),
+}
+
+
+class Checker:
+    """Base checker: subscribe to node types, visit, finalize."""
+
+    rule = "MSL000"
+    #: AST node types this checker wants to see.
+    interests: tuple[type, ...] = ()
+
+    @property
+    def severity(self) -> str:
+        return RULES[self.rule][0]
+
+    def applies_to(self, rel_path: str) -> bool:
+        return True
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> None:
+        """Called once per matching node during the single file walk."""
+
+    def finalize(self, ctx: "ProjectContext") -> None:
+        """Called once after all files, for registry-level checks."""
+
+    # -- helpers ------------------------------------------------------------
+
+    def report(
+        self,
+        ctx: "FileContext",
+        node: ast.AST,
+        message: str,
+    ) -> None:
+        ctx.add(
+            Finding(
+                rule=self.rule,
+                severity=self.severity,
+                path=ctx.rel_path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+    def report_at(
+        self, ctx: "ProjectContext", path: str, line: int, message: str
+    ) -> None:
+        ctx.add(
+            Finding(
+                rule=self.rule,
+                severity=self.severity,
+                path=path,
+                line=line,
+                col=1,
+                message=message,
+            )
+        )
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """Does ``node`` evaluate to a set (statically obvious cases)?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expression(node.left) or _is_set_expression(node.right)
+    return False
+
+
+class DeterminismHazardChecker(Checker):
+    """MSL001: wall-clock, ambient RNG, unsorted listings, set order."""
+
+    rule = "MSL001"
+    interests = (
+        ast.Call,
+        ast.For,
+        ast.ListComp,
+        ast.GeneratorExp,
+        ast.DictComp,
+    )
+
+    def applies_to(self, rel_path: str) -> bool:
+        return rel_path.startswith(SIM_PATH_PREFIXES)
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> None:
+        if isinstance(node, ast.Call):
+            self._visit_call(node, ctx)
+        elif isinstance(node, ast.For):
+            if _is_set_expression(node.iter):
+                self.report(
+                    ctx,
+                    node,
+                    "iteration over a set expression — element order "
+                    "escapes into the loop body; iterate sorted(...) "
+                    "instead",
+                )
+        else:  # list/generator/dict comprehension
+            self._visit_comprehension(node, ctx)
+
+    def _visit_call(self, node: ast.Call, ctx: "FileContext") -> None:
+        dotted = ctx.dotted_name(node.func)
+        if dotted in WALL_CLOCK_CALLS:
+            self.report(
+                ctx,
+                node,
+                f"wall-clock read {dotted}() in a simulation path — "
+                "simulated time must come from SimClock (or be pragma'd "
+                "as deliberate provenance metadata)",
+            )
+            return
+        if dotted is not None and dotted.startswith("random."):
+            self.report(
+                ctx,
+                node,
+                f"module-level stdlib RNG {dotted}() — draws from ambient "
+                "process state; thread a seeded numpy Generator instead",
+            )
+            return
+        if (
+            dotted is not None
+            and dotted.startswith("numpy.random.")
+            and dotted.rsplit(".", 1)[1] not in NP_RANDOM_SAFE
+        ):
+            self.report(
+                ctx,
+                node,
+                f"module-level numpy RNG {dotted}() — draws from the "
+                "global generator; thread a seeded Generator instead",
+            )
+            return
+        is_listing = dotted in FS_LISTING_CALLS or (
+            dotted is None
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in FS_LISTING_METHODS
+        )
+        if is_listing and not ctx.order_is_safe(node):
+            name = dotted or f".{node.func.attr}"  # type: ignore[union-attr]
+            self.report(
+                ctx,
+                node,
+                f"directory listing {name}() in OS order — wrap in "
+                "sorted(...) (or feed an order-insensitive sink) so runs "
+                "are byte-identical across filesystems",
+            )
+
+    def _visit_comprehension(self, node: ast.AST, ctx: "FileContext") -> None:
+        # Set-typed iterables feeding a list/generator/dict comprehension
+        # leak their order into the result unless the comprehension
+        # itself feeds an order-insensitive sink.
+        for generator in node.generators:  # type: ignore[attr-defined]
+            if _is_set_expression(generator.iter) and not ctx.order_is_safe(
+                node
+            ):
+                self.report(
+                    ctx,
+                    generator.iter,
+                    "comprehension over a set expression — element order "
+                    "escapes into the result; sort first",
+                )
+
+
+class OpAccountingChecker(Checker):
+    """MSL002: the Op registry, cost table, and bucket map agree."""
+
+    rule = "MSL002"
+    interests = (ast.Attribute, ast.Call)
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> None:
+        ops = ctx.project.symbols.ops
+        if not ops:
+            return
+        if isinstance(node, ast.Attribute):
+            if (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "Op"
+                and node.attr != "ALL"
+                and node.attr not in ops
+            ):
+                self.report(
+                    ctx,
+                    node,
+                    f"Op.{node.attr} is not a registered Op constant "
+                    "(see mlg/workreport.py)",
+                )
+            return
+        # report.add("literal") sites: the string must be a registered
+        # op *value*.  Only receivers named `report` are considered so
+        # unrelated `.add(...)` calls (sets, argparse) stay out of scope.
+        func = node.func  # type: ignore[union-attr]
+        if not (isinstance(func, ast.Attribute) and func.attr == "add"):
+            return
+        receiver = func.value
+        is_report = (
+            isinstance(receiver, ast.Name) and receiver.id == "report"
+        ) or (isinstance(receiver, ast.Attribute) and receiver.attr == "report")
+        args = node.args  # type: ignore[union-attr]
+        if not is_report or not args:
+            return
+        first = args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            if first.value not in ops.values():
+                self.report(
+                    ctx,
+                    first,
+                    f"report.add({first.value!r}) does not name a "
+                    "registered Op value — count sites must stay "
+                    "attributable to the cost table",
+                )
+
+    def finalize(self, ctx: "ProjectContext") -> None:
+        symbols = ctx.symbols
+        if not ctx.full_scan or not symbols.ops:
+            return
+        all_listed = set(symbols.op_all)
+        for name in symbols.ops:
+            ref = symbols.op_refs[name]
+            if symbols.op_all and name not in all_listed:
+                self.report_at(
+                    ctx, ref.path, ref.line, f"Op.{name} missing from Op.ALL"
+                )
+            if symbols.ref_cost_table and name not in symbols.cost_ops:
+                self.report_at(
+                    ctx,
+                    ref.path,
+                    ref.line,
+                    f"Op.{name} has no cost in variants._BASE_COSTS — "
+                    "uncosted work silently vanishes from tick time",
+                )
+            if symbols.ref_bucket_by_op and name not in symbols.bucket_by_op:
+                self.report_at(
+                    ctx,
+                    ref.path,
+                    ref.line,
+                    f"Op.{name} has no explicit _BUCKET_BY_OP entry — "
+                    "map it (use 'Other' deliberately, not by fallback)",
+                )
+        for name in all_listed:
+            if name not in symbols.ops and symbols.ref_op_all:
+                ref = symbols.ref_op_all
+                self.report_at(
+                    ctx,
+                    ref.path,
+                    ref.line,
+                    f"Op.ALL lists unknown constant {name}",
+                )
+        for name, ref in symbols.cost_ops.items():
+            if name not in symbols.ops:
+                self.report_at(
+                    ctx,
+                    ref.path,
+                    ref.line,
+                    f"stale cost-table entry Op.{name}: no such constant",
+                )
+        if symbols.ref_bucket_by_op:
+            ref = symbols.ref_bucket_by_op
+            for name, bucket in symbols.bucket_by_op.items():
+                if name not in symbols.ops:
+                    self.report_at(
+                        ctx,
+                        ref.path,
+                        ref.line,
+                        f"stale bucket entry Op.{name}: no such constant",
+                    )
+                if symbols.figure_buckets and (
+                    bucket not in symbols.figure_buckets
+                ):
+                    self.report_at(
+                        ctx,
+                        ref.path,
+                        ref.line,
+                        f"Op.{name} maps to unknown bucket {bucket!r} "
+                        "(not in FIGURE11_BUCKETS)",
+                    )
+
+
+class KnobThreadingChecker(Checker):
+    """MSL003: server/config/spec knobs exist on all layers, same default."""
+
+    rule = "MSL003"
+    interests = ()
+
+    def finalize(self, ctx: "ProjectContext") -> None:
+        symbols = ctx.symbols
+        server = symbols.server_knobs
+        config = symbols.config_knobs
+        spec = symbols.spec_knobs
+        if not ctx.full_scan or not (server and config and spec):
+            return
+        for name, server_knob in sorted(server.items()):
+            if name in SERVER_LOCAL_PARAMS:
+                continue
+            config_knob = config.get(name)
+            if config_knob is None:
+                self.report_at(
+                    ctx,
+                    server_knob.ref.path,
+                    server_knob.ref.line,
+                    f"MLGServer knob {name!r} is not declared on "
+                    "MeterstickConfig — campaigns cannot set it",
+                )
+                continue
+            spec_knob = spec.get(name)
+            if spec_knob is None and name not in SPEC_DERIVED_KNOBS:
+                self.report_at(
+                    ctx,
+                    config_knob.ref.path,
+                    config_knob.ref.line,
+                    f"knob {name!r} is declared on MLGServer and "
+                    "MeterstickConfig but missing from CampaignSpec — "
+                    "thread it through all three layers",
+                )
+            self._check_default(
+                ctx, name, "MLGServer", server_knob, "MeterstickConfig",
+                config_knob,
+            )
+            if spec_knob is not None:
+                self._check_default(
+                    ctx, name, "MeterstickConfig", config_knob,
+                    "CampaignSpec", spec_knob,
+                )
+        for name, ref in sorted(symbols.overridable_fields.items()):
+            if name not in config:
+                self.report_at(
+                    ctx,
+                    ref.path,
+                    ref.line,
+                    f"_OVERRIDABLE_FIELDS lists {name!r}, which is not a "
+                    "MeterstickConfig field",
+                )
+
+    def _check_default(
+        self,
+        ctx: "ProjectContext",
+        name: str,
+        layer_a: str,
+        knob_a,
+        layer_b: str,
+        knob_b,
+    ) -> None:
+        if not (knob_a.has_default and knob_b.has_default):
+            return
+        if knob_a.default != knob_b.default:
+            self.report_at(
+                ctx,
+                knob_b.ref.path,
+                knob_b.ref.line,
+                f"knob {name!r} defaults diverge: {layer_a} uses "
+                f"{knob_a.default!r}, {layer_b} uses {knob_b.default!r}",
+            )
+
+
+class ProvenanceHygieneChecker(Checker):
+    """MSL004: every config/spec field has an explicit provenance fate."""
+
+    rule = "MSL004"
+    interests = ()
+
+    def finalize(self, ctx: "ProjectContext") -> None:
+        symbols = ctx.symbols
+        if not ctx.full_scan or not symbols.has_provenance_registry:
+            return
+        config = symbols.config_knobs
+        spec = symbols.spec_knobs
+        if not (config or spec):
+            return
+        fingerprinted = set(symbols.measurement_fields)
+        excluded = set(symbols.non_measurement_fields)
+        fields: dict[str, object] = {}
+        fields.update(spec)
+        fields.update(config)  # config wins for shared names (same fate)
+        for name, knob in sorted(fields.items()):
+            registered = (name in fingerprinted) + (name in excluded)
+            if registered == 0:
+                self.report_at(
+                    ctx,
+                    knob.ref.path,  # type: ignore[attr-defined]
+                    knob.ref.line,  # type: ignore[attr-defined]
+                    f"config field {name!r} has no provenance decision — "
+                    "add it to _MEASUREMENT_FIELDS (fingerprinted) or "
+                    "_NON_MEASUREMENT_FIELDS (excluded) in "
+                    "tracing/provenance.py",
+                )
+            elif registered == 2:
+                ref = symbols.measurement_fields[name]
+                self.report_at(
+                    ctx,
+                    ref.path,
+                    ref.line,
+                    f"config field {name!r} is listed as both fingerprinted "
+                    "and excluded in tracing/provenance.py",
+                )
+        for name, ref in sorted(
+            {**symbols.measurement_fields, **symbols.non_measurement_fields}
+            .items()
+        ):
+            if name not in fields:
+                self.report_at(
+                    ctx,
+                    ref.path,
+                    ref.line,
+                    f"stale provenance registry entry {name!r}: not a field "
+                    "of MeterstickConfig or CampaignSpec",
+                )
+
+
+class TelemetryRegistrationChecker(Checker):
+    """MSL005: published bus metrics exist in the sidecar registry."""
+
+    rule = "MSL005"
+    interests = (ast.Call,)
+
+    def __init__(self) -> None:
+        self.published: dict[str, tuple[str, int]] = {}
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> None:
+        func = node.func  # type: ignore[union-attr]
+        if not (isinstance(func, ast.Attribute) and func.attr == "publish"):
+            return
+        args = node.args  # type: ignore[union-attr]
+        if not args:
+            return
+        metric = ctx.resolve_str(args[0])
+        if metric is None:
+            return
+        self.published.setdefault(
+            metric, (ctx.rel_path, args[0].lineno)
+        )
+        registry = ctx.project.symbols.sidecar_metrics
+        if ctx.project.symbols.ref_sidecar_metrics and metric not in registry:
+            self.report(
+                ctx,
+                args[0],
+                f"metric {metric!r} is published to the bus but missing "
+                "from reporting SIDECAR_METRICS — reports cannot pivot "
+                "on it",
+            )
+
+    def finalize(self, ctx: "ProjectContext") -> None:
+        symbols = ctx.symbols
+        if not ctx.full_scan or symbols.ref_sidecar_metrics is None:
+            return
+        ref = symbols.ref_sidecar_metrics
+        for metric, fields in sorted(symbols.sidecar_metrics.items()):
+            if metric not in self.published:
+                self.report_at(
+                    ctx,
+                    ref.path,
+                    ref.line,
+                    f"SIDECAR_METRICS entry {metric!r} is never published "
+                    "to a telemetry bus — stale registry entry",
+                )
+            for field_name in fields:
+                if (
+                    symbols.metric_fields
+                    and field_name not in symbols.metric_fields
+                ):
+                    self.report_at(
+                        ctx,
+                        ref.path,
+                        ref.line,
+                        f"SIDECAR_METRICS[{metric!r}] names {field_name!r}, "
+                        "which is not a METRIC_FIELDS report metric",
+                    )
+
+
+class RngDisciplineChecker(Checker):
+    """MSL006: RNGs are threaded, never ambiently constructed."""
+
+    rule = "MSL006"
+    interests = (ast.Call,)
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> None:
+        func = node.func  # type: ignore[union-attr]
+        dotted = ctx.dotted_name(func)
+        is_default_rng = (dotted or "").endswith("default_rng") or (
+            isinstance(func, ast.Name) and func.id == "default_rng"
+        )
+        args = node.args  # type: ignore[union-attr]
+        if dotted == "numpy.random.seed":
+            self.report(
+                ctx,
+                node,
+                "numpy.random.seed() reseeds the *global* generator — "
+                "construct and thread a local default_rng(seed) instead",
+            )
+            return
+        if dotted == "random.Random" and not args:
+            self.report(
+                ctx,
+                node,
+                "random.Random() without a seed draws from ambient "
+                "process state — pass an explicit seed",
+            )
+            return
+        if not is_default_rng:
+            return
+        if not args:
+            self.report(
+                ctx,
+                node,
+                "default_rng() without a seed is nondeterministic — "
+                "every generator must derive from an explicit seed",
+            )
+            return
+        enclosing = ctx.enclosing_function(node)
+        if enclosing is None:
+            return
+        params = ctx.function_params(enclosing)
+        if "rng" not in params and "seed" not in params:
+            return
+        referenced = {
+            leaf.id
+            for arg in args
+            for leaf in ast.walk(arg)
+            if isinstance(leaf, ast.Name)
+        }
+        if not (referenced & params):
+            self.report(
+                ctx,
+                node,
+                f"{enclosing.name}() takes rng/seed but constructs "
+                "default_rng(...) from values unrelated to its "
+                "parameters — thread the caller's RNG or seed through",
+            )
+
+
+#: Checker classes in rule order; the engine instantiates fresh ones
+#: per run (MSL005 carries cross-file state).
+ALL_CHECKERS = (
+    DeterminismHazardChecker,
+    OpAccountingChecker,
+    KnobThreadingChecker,
+    ProvenanceHygieneChecker,
+    TelemetryRegistrationChecker,
+    RngDisciplineChecker,
+)

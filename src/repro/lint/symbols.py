@@ -1,0 +1,444 @@
+"""Cross-file symbol tables for the project-level lint rules.
+
+The cross-file rules (MSL002 op accounting, MSL003 knob threading,
+MSL004 provenance hygiene, MSL005 telemetry registration) check
+*registries* against *usage*: the ``Op`` constants against the cost
+table and bucket map, the knob surface of ``MLGServer`` /
+``MeterstickConfig`` / ``CampaignSpec``, the provenance field lists, and
+the sidecar metric registry.  This module parses those registries out of
+their defining files — pure ``ast``, nothing is imported or executed, so
+the linter works on any tree that merely *looks* like the project
+(which is also how the corpus tests exercise it).
+
+Every extracted symbol carries the ``path:line`` it was defined at, so
+project-level findings anchor to the registry entry at fault.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = ["UNRESOLVED", "Knob", "ProjectSymbols", "SourceRef"]
+
+
+class _Unresolved:
+    """Sentinel: a default value the parser could not reduce to a literal
+    (``default_factory``, computed expressions).  Never equal to anything,
+    so consistency checks silently skip it."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "<unresolved>"
+
+
+UNRESOLVED = _Unresolved()
+
+
+@dataclass(frozen=True)
+class SourceRef:
+    """Where a symbol was defined."""
+
+    path: str
+    line: int
+
+
+@dataclass(frozen=True)
+class Knob:
+    """One configuration knob on one layer: its default and location."""
+
+    name: str
+    default: object
+    ref: SourceRef
+
+    @property
+    def has_default(self) -> bool:
+        return self.default is not UNRESOLVED
+
+
+#: Relative paths (under the project root) of the registry files.
+WORKREPORT_PATH = "src/repro/mlg/workreport.py"
+VARIANTS_PATH = "src/repro/mlg/variants.py"
+SERVER_PATH = "src/repro/mlg/server.py"
+CONFIG_PATH = "src/repro/core/config.py"
+SPEC_PATH = "src/repro/campaign/spec.py"
+PROVENANCE_PATH = "src/repro/tracing/provenance.py"
+REPORTING_SPEC_PATH = "src/repro/reporting/spec.py"
+
+
+def _literal(node: ast.expr, constants: dict[str, object]) -> object:
+    """Reduce ``node`` to a literal, resolving module-level constant
+    names; :data:`UNRESOLVED` when it isn't statically reducible."""
+    if isinstance(node, ast.Name):
+        return constants.get(node.id, UNRESOLVED)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _literal(node.operand, constants)
+        if isinstance(inner, (int, float)):
+            return -inner
+        return UNRESOLVED
+    try:
+        return ast.literal_eval(node)
+    except (ValueError, SyntaxError):
+        return UNRESOLVED
+
+
+def _module_constants(tree: ast.Module) -> dict[str, object]:
+    """Module-level ``NAME = <literal>`` assignments."""
+    constants: dict[str, object] = {}
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        if value is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                resolved = _literal(value, constants)
+                if resolved is not UNRESOLVED:
+                    constants[target.id] = resolved
+    return constants
+
+
+def _op_attr_name(node: ast.expr) -> str | None:
+    """``Op.FOO`` -> ``"FOO"`` (None for anything else)."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "Op"
+    ):
+        return node.attr
+    return None
+
+
+def _find_class(tree: ast.Module, name: str) -> ast.ClassDef | None:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.ClassDef) and stmt.name == name:
+            return stmt
+    return None
+
+
+def _find_assign(tree: ast.Module, name: str) -> ast.Assign | None:
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt
+        elif (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and stmt.target.id == name
+            and stmt.value is not None
+        ):
+            # Normalize to the Assign shape the callers expect.
+            assign = ast.Assign(targets=[stmt.target], value=stmt.value)
+            ast.copy_location(assign, stmt)
+            return assign
+    return None
+
+
+def _str_sequence(node: ast.expr) -> list[str]:
+    """String elements of a tuple/list/set/frozenset(...) display."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("frozenset", "tuple", "set", "list")
+        and node.args
+    ):
+        node = node.args[0]
+    if not isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return []
+    return [
+        element.value
+        for element in node.elts
+        if isinstance(element, ast.Constant) and isinstance(element.value, str)
+    ]
+
+
+def _dataclass_fields(
+    cls: ast.ClassDef, constants: dict[str, object], path: str
+) -> dict[str, Knob]:
+    """Annotated fields of a dataclass body, with resolved defaults."""
+    fields: dict[str, Knob] = {}
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        name = stmt.target.id
+        default: object = UNRESOLVED
+        value = stmt.value
+        if value is not None:
+            if (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id == "field"
+            ):
+                for keyword in value.keywords:
+                    if keyword.arg == "default":
+                        default = _literal(keyword.value, constants)
+            else:
+                default = _literal(value, constants)
+        fields[name] = Knob(
+            name=name,
+            default=default,
+            ref=SourceRef(path=path, line=stmt.lineno),
+        )
+    return fields
+
+
+def _init_params(
+    cls: ast.ClassDef, constants: dict[str, object], path: str
+) -> dict[str, Knob]:
+    """Keyword(-able) parameters of ``cls.__init__`` with defaults."""
+    init = next(
+        (
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+        ),
+        None,
+    )
+    if init is None:
+        return {}
+    params: dict[str, Knob] = {}
+    args = init.args
+    positional = args.posonlyargs + args.args
+    defaults: list[ast.expr | None] = [None] * (
+        len(positional) - len(args.defaults)
+    ) + list(args.defaults)
+    for arg, default_node in zip(positional, defaults):
+        if arg.arg == "self":
+            continue
+        default = (
+            UNRESOLVED
+            if default_node is None
+            else _literal(default_node, constants)
+        )
+        params[arg.arg] = Knob(
+            name=arg.arg,
+            default=default,
+            ref=SourceRef(path=path, line=arg.lineno),
+        )
+    for arg, default_node in zip(args.kwonlyargs, args.kw_defaults):
+        default = (
+            UNRESOLVED
+            if default_node is None
+            else _literal(default_node, constants)
+        )
+        params[arg.arg] = Knob(
+            name=arg.arg,
+            default=default,
+            ref=SourceRef(path=path, line=arg.lineno),
+        )
+    return params
+
+
+@dataclass
+class ProjectSymbols:
+    """Everything the cross-file rules need, parsed once per run."""
+
+    root: Path
+
+    # -- Op accounting (workreport.py + variants.py) ----------------------
+    #: Op constant name -> its string value.
+    ops: dict[str, str] = field(default_factory=dict)
+    #: Op constant name -> definition site.
+    op_refs: dict[str, SourceRef] = field(default_factory=dict)
+    #: Names listed in ``Op.ALL``.
+    op_all: list[str] = field(default_factory=list)
+    ref_op_all: SourceRef | None = None
+    #: Op names with an explicit ``_BUCKET_BY_OP`` entry -> bucket label.
+    bucket_by_op: dict[str, str] = field(default_factory=dict)
+    ref_bucket_by_op: SourceRef | None = None
+    #: The legal Figure 11 bucket labels.
+    figure_buckets: list[str] = field(default_factory=list)
+    #: Op names priced in the variants base cost table.
+    cost_ops: dict[str, SourceRef] = field(default_factory=dict)
+    ref_cost_table: SourceRef | None = None
+
+    # -- knob threading (server.py + config.py + spec.py) -----------------
+    server_knobs: dict[str, Knob] = field(default_factory=dict)
+    config_knobs: dict[str, Knob] = field(default_factory=dict)
+    spec_knobs: dict[str, Knob] = field(default_factory=dict)
+    #: ``_OVERRIDABLE_FIELDS`` entries (spec.py) -> definition site.
+    overridable_fields: dict[str, SourceRef] = field(default_factory=dict)
+
+    # -- provenance hygiene (provenance.py) -------------------------------
+    non_measurement_fields: dict[str, SourceRef] = field(default_factory=dict)
+    measurement_fields: dict[str, SourceRef] = field(default_factory=dict)
+    has_provenance_registry: bool = False
+
+    # -- telemetry registration (reporting/spec.py) -----------------------
+    #: Bus metric name -> report fields derived from it.
+    sidecar_metrics: dict[str, list[str]] = field(default_factory=dict)
+    ref_sidecar_metrics: SourceRef | None = None
+    metric_fields: dict[str, SourceRef] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, root: Path) -> "ProjectSymbols":
+        symbols = cls(root=root)
+        symbols._load_workreport()
+        symbols._load_variants()
+        symbols._load_knob_layer(SERVER_PATH, "MLGServer", "server_knobs")
+        symbols._load_knob_layer(CONFIG_PATH, "MeterstickConfig", "config_knobs")
+        symbols._load_knob_layer(SPEC_PATH, "CampaignSpec", "spec_knobs")
+        symbols._load_overridable_fields()
+        symbols._load_provenance()
+        symbols._load_reporting_spec()
+        return symbols
+
+    # -- parsing helpers ----------------------------------------------------
+
+    def _parse(self, rel_path: str) -> ast.Module | None:
+        path = self.root / rel_path
+        if not path.is_file():
+            return None
+        try:
+            return ast.parse(path.read_text(), filename=str(path))
+        except SyntaxError:
+            # The per-file pass reports the syntax error; symbol-dependent
+            # rules just see an absent registry.
+            return None
+
+    def _load_workreport(self) -> None:
+        tree = self._parse(WORKREPORT_PATH)
+        if tree is None:
+            return
+        op_class = _find_class(tree, "Op")
+        if op_class is not None:
+            for stmt in op_class.body:
+                if isinstance(stmt, ast.Assign) and isinstance(
+                    stmt.value, ast.Constant
+                ):
+                    value = stmt.value.value
+                    if not isinstance(value, str):
+                        continue
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name):
+                            self.ops[target.id] = value
+                            self.op_refs[target.id] = SourceRef(
+                                WORKREPORT_PATH, stmt.lineno
+                            )
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if (
+                            isinstance(target, ast.Name)
+                            and target.id == "ALL"
+                            and isinstance(stmt.value, ast.Tuple)
+                        ):
+                            self.ref_op_all = SourceRef(
+                                WORKREPORT_PATH, stmt.lineno
+                            )
+                            self.op_all = [
+                                element.id
+                                for element in stmt.value.elts
+                                if isinstance(element, ast.Name)
+                            ]
+        buckets = _find_assign(tree, "FIGURE11_BUCKETS")
+        if buckets is not None:
+            self.figure_buckets = _str_sequence(buckets.value)
+        bucket_map = _find_assign(tree, "_BUCKET_BY_OP")
+        if bucket_map is not None and isinstance(bucket_map.value, ast.Dict):
+            self.ref_bucket_by_op = SourceRef(
+                WORKREPORT_PATH, bucket_map.lineno
+            )
+            for key, value in zip(
+                bucket_map.value.keys, bucket_map.value.values
+            ):
+                if key is None:
+                    continue
+                op_name = _op_attr_name(key)
+                if op_name is not None and isinstance(value, ast.Constant):
+                    self.bucket_by_op[op_name] = value.value
+
+    def _load_variants(self) -> None:
+        tree = self._parse(VARIANTS_PATH)
+        if tree is None:
+            return
+        cost_table = _find_assign(tree, "_BASE_COSTS")
+        if cost_table is None or not isinstance(cost_table.value, ast.Dict):
+            return
+        self.ref_cost_table = SourceRef(VARIANTS_PATH, cost_table.lineno)
+        for key in cost_table.value.keys:
+            if key is None:
+                continue
+            op_name = _op_attr_name(key)
+            if op_name is not None:
+                self.cost_ops[op_name] = SourceRef(VARIANTS_PATH, key.lineno)
+
+    def _load_knob_layer(
+        self, rel_path: str, class_name: str, attr: str
+    ) -> None:
+        tree = self._parse(rel_path)
+        if tree is None:
+            return
+        cls_node = _find_class(tree, class_name)
+        if cls_node is None:
+            return
+        constants = _module_constants(tree)
+        has_init = any(
+            isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__"
+            for stmt in cls_node.body
+        )
+        if has_init:
+            knobs = _init_params(cls_node, constants, rel_path)
+        else:
+            knobs = _dataclass_fields(cls_node, constants, rel_path)
+        setattr(self, attr, knobs)
+
+    def _load_overridable_fields(self) -> None:
+        tree = self._parse(SPEC_PATH)
+        if tree is None:
+            return
+        assign = _find_assign(tree, "_OVERRIDABLE_FIELDS")
+        if assign is None:
+            return
+        for name in _str_sequence(assign.value):
+            self.overridable_fields[name] = SourceRef(
+                SPEC_PATH, assign.lineno
+            )
+
+    def _load_provenance(self) -> None:
+        tree = self._parse(PROVENANCE_PATH)
+        if tree is None:
+            return
+        for attr, var_name in (
+            ("non_measurement_fields", "_NON_MEASUREMENT_FIELDS"),
+            ("measurement_fields", "_MEASUREMENT_FIELDS"),
+        ):
+            assign = _find_assign(tree, var_name)
+            if assign is None:
+                continue
+            self.has_provenance_registry = True
+            registry: dict[str, SourceRef] = getattr(self, attr)
+            for name in _str_sequence(assign.value):
+                registry[name] = SourceRef(PROVENANCE_PATH, assign.lineno)
+
+    def _load_reporting_spec(self) -> None:
+        tree = self._parse(REPORTING_SPEC_PATH)
+        if tree is None:
+            return
+        metric_fields = _find_assign(tree, "METRIC_FIELDS")
+        if metric_fields is not None and isinstance(
+            metric_fields.value, ast.Dict
+        ):
+            for key in metric_fields.value.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    self.metric_fields[key.value] = SourceRef(
+                        REPORTING_SPEC_PATH, key.lineno
+                    )
+        sidecar = _find_assign(tree, "SIDECAR_METRICS")
+        if sidecar is not None and isinstance(sidecar.value, ast.Dict):
+            self.ref_sidecar_metrics = SourceRef(
+                REPORTING_SPEC_PATH, sidecar.lineno
+            )
+            for key, value in zip(sidecar.value.keys, sidecar.value.values):
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    self.sidecar_metrics[key.value] = _str_sequence(value)

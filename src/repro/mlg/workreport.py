@@ -111,11 +111,28 @@ _BUCKET_BY_OP = {
     Op.CHUNK_GEN: "Chunk Load",
     Op.CHUNK_LOAD: "Chunk Load",
     Op.CHUNK_VIEW: "Chunk Load",
+    # Deliberately "Other" (Fig. 11 lumps fixed tick overhead, chunk
+    # ticking, player actions, chat, and networking into its catch-all
+    # bucket).  Explicit entries rather than fallback so MSL002 can
+    # prove every Op has a *decided* bucket — a new Op landing in
+    # "Other" by accident is exactly the attribution leak the lint
+    # exists to catch.
+    Op.TICK_FIXED: "Other",
+    Op.CHUNK_TICK: "Other",
+    Op.PLAYER_ACTION: "Other",
+    Op.CHAT: "Other",
+    Op.PACKET: "Other",
+    Op.BYTES_OUT: "Other",
 }
 
 
 def bucket_of(op: str) -> str:
-    """Map a fine operation category to its Figure 11 bucket."""
+    """Map a fine operation category to its Figure 11 bucket.
+
+    Every registered Op has an explicit entry (enforced by lint rule
+    MSL002 and ``tests/mlg/test_op_registry.py``); the fallback only
+    covers ad-hoc strings from external callers.
+    """
     return _BUCKET_BY_OP.get(op, "Other")
 
 

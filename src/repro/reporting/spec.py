@@ -48,6 +48,7 @@ __all__ = [
     "OutputSpec",
     "PivotSpec",
     "PlotSpec",
+    "SIDECAR_METRICS",
     "SYSTEM_FIELDS",
     "default_output",
     "validate_output",
@@ -87,6 +88,30 @@ METRIC_FIELDS = {
     "slow_ticks": "slow ticks",
     "anomaly_count": "anomaly dumps",
     "top_bucket_share": "top-bucket share",
+}
+
+#: The sidecar metric registry: which bus-published metric each family
+#: of report metrics derives from.  Keys are the exact names producers
+#: pass to ``TelemetryBus.publish``; values are the METRIC_FIELDS
+#: columns the reporting layer derives from that stream's sidecar
+#: snapshot.  Lint rule MSL005 enforces both directions — a metric
+#: published but not registered here is invisible to report pivots, and
+#: a registry entry nothing publishes is dead weight.  (The remaining
+#: METRIC_FIELDS come from tap/flight-recorder state, not bus streams.)
+SIDECAR_METRICS = {
+    "tick_ms": (
+        "tick_mean_ms",
+        "tick_p50_ms",
+        "tick_p95_ms",
+        "tick_p99_ms",
+        "tick_max_ms",
+        "tick_cov",
+        "overloaded_fraction",
+    ),
+    "response_ms": (
+        "response_p50_ms",
+        "response_p99_ms",
+    ),
 }
 
 #: Supported pivot aggregates.

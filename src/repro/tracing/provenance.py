@@ -58,6 +58,62 @@ _NON_MEASUREMENT_FIELDS = (
     "output",
 )
 
+#: Every other MeterstickConfig/CampaignSpec field, acknowledged as
+#: *fingerprinted*: part of the sha256 measurement identity.  A field
+#: must appear in exactly one of these two registries — lint rule
+#: MSL004 refuses config fields nobody made a provenance decision for,
+#: and flags stale entries, so adding a knob forces the question "does
+#: this change what gets measured?" at diff time instead of after two
+#: incomparable campaigns ship.
+_MEASUREMENT_FIELDS = (
+    # deployment (simulated control plane — part of Table 4 identity)
+    "ips",
+    "ssl_keys",
+    "control_port",
+    "game_port",
+    "jmx_urls",
+    "jmx_port_range",
+    # systems under test
+    "servers",
+    "environment",
+    "ram_gb",
+    "affinity_mask",
+    # workload (single-cell config)
+    "world",
+    "number_of_bots",
+    "behavior",
+    "duration_s",
+    "iterations",
+    "scale",
+    # campaign matrix axes + identity
+    "name",
+    "workloads",
+    "environments",
+    "scales",
+    "bot_counts",
+    "behaviors",
+    "overrides",
+    # world persistence & chunk streaming
+    "autosave_interval_s",
+    "autosave_flush_every",
+    "max_loaded_chunks",
+    "warm_world_cache",
+    # observability (tracing perturbs what the flight recorder sees,
+    # so traced and untraced campaigns must not share a fingerprint)
+    "trace",
+    "trace_sample_every",
+    "slow_tick_factor",
+    # reproducibility
+    "seed",
+    "inter_iteration_gap_s",
+    "warm_machines",
+    "retain_raw",
+    # measurement-hygiene requests: they gate PASS/WARN provenance, and
+    # a campaign run under different requested conditions is a
+    # different measurement.
+    "system",
+)
+
 
 def measurement_config(config: dict) -> dict:
     """A resolved config dict minus storage-location/worker fields."""

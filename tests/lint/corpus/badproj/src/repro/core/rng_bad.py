@@ -1,0 +1,22 @@
+"""Known-bad MSL006 corpus: RNG construction instead of threading."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def unseeded():
+    return np.random.default_rng()
+
+
+def ignores_seed(seed):
+    return default_rng(1234)
+
+
+def reseeds_global(seed):
+    np.random.seed(seed)
+
+
+def ambient_stdlib():
+    return random.Random()

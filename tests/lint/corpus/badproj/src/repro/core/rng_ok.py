@@ -1,0 +1,31 @@
+"""True-negative twin of rng_bad: every generator derives from an
+explicit seed, threaded parameters are respected."""
+
+import random
+
+import numpy as np
+from numpy.random import default_rng
+
+_SMOKE_RNG = default_rng(123)
+
+
+def seeded(seed):
+    return default_rng(seed)
+
+
+def threaded(rng, seed):
+    return rng if rng is not None else np.random.default_rng(seed)
+
+
+def derived(seed):
+    return default_rng(seed + 17)
+
+
+def fixed_bench():
+    # No rng/seed parameter: a pinned literal seed is the sanctioned
+    # pattern for self-contained benchmarks.
+    return default_rng(12345)
+
+
+def stdlib_seeded():
+    return random.Random(7)

@@ -1,0 +1,10 @@
+"""Known-bad MSL002 corpus: count sites naming unregistered ops."""
+
+from repro.mlg.workreport import Op
+
+
+def tick(report):
+    report.add(Op.ALPHA)
+    report.add(Op.GAMMA)
+    report.add("beta", 2)
+    report.add("unpriced_op")

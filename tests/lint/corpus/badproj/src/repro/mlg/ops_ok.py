@@ -1,0 +1,10 @@
+"""True-negative twin of ops_bad: registered ops, pragma'd prototype."""
+
+from repro.mlg.workreport import Op
+
+
+def tick(report):
+    report.add(Op.ALPHA)
+    report.add("beta", 2)
+    report.add("prototype_op")  # lint: allow[MSL002] prototype counter, priced in a follow-up PR
+    report.count = 0  # attribute named like a receiver, not a count site

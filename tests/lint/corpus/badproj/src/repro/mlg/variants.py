@@ -1,0 +1,8 @@
+"""Mini cost table for the per-file corpus: prices every op."""
+
+from repro.mlg.workreport import Op
+
+_BASE_COSTS = {
+    Op.ALPHA: 1.0,
+    Op.BETA: 2.0,
+}

@@ -1,0 +1,16 @@
+"""Mini op registry for the per-file corpus: complete and consistent."""
+
+
+class Op:
+    ALPHA = "alpha"
+    BETA = "beta"
+
+    ALL = (ALPHA, BETA)
+
+
+FIGURE11_BUCKETS = ("Entities", "Other")
+
+_BUCKET_BY_OP = {
+    Op.ALPHA: "Entities",
+    Op.BETA: "Other",
+}

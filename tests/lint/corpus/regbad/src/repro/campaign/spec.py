@@ -1,0 +1,14 @@
+"""Known-bad MSL003 spec layer: ``autosave_interval_s`` default
+diverges from the config, ``_OVERRIDABLE_FIELDS`` lists a ghost."""
+
+from dataclasses import dataclass
+
+_OVERRIDABLE_FIELDS = frozenset({"autosave_interval_s", "ghost_field"})
+
+
+@dataclass
+class CampaignSpec:
+    name: str = "campaign"
+    seed: int = 0
+    autosave_interval_s: float = 90.0
+    output_dir: str = "out"

@@ -1,0 +1,13 @@
+"""Known-bad MSL003/MSL004 config layer: ``new_knob`` default diverges
+from the server, ``unregistered_field`` has no provenance decision."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MeterstickConfig:
+    output_dir: str = "out"
+    seed: int = 0
+    autosave_interval_s: float = 45.0
+    new_knob: int = 3
+    unregistered_field: bool = False

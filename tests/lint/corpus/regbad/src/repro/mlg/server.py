@@ -1,0 +1,23 @@
+"""Known-bad MSL003 server layer: ``new_knob`` default diverges from
+the config layer, ``server_only_knob`` is not declared on the config."""
+
+AUTOSAVE_INTERVAL_S = 45.0
+
+
+class MLGServer:
+    def __init__(
+        self,
+        variant,
+        machine,
+        world=None,
+        clock=None,
+        seed=0,
+        telemetry_window=100,
+        autosave_interval_s=AUTOSAVE_INTERVAL_S,
+        new_knob=4,
+        server_only_knob=7,
+    ):
+        self.seed = seed
+        self.autosave_interval_s = autosave_interval_s
+        self.new_knob = new_knob
+        self.server_only_knob = server_only_knob

@@ -1,0 +1,8 @@
+"""Known-bad MSL002 cost table: prices a constant that does not exist."""
+
+from repro.mlg.workreport import Op
+
+_BASE_COSTS = {
+    Op.ALPHA: 1.0,
+    Op.STALE: 9.0,
+}

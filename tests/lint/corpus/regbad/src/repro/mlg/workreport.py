@@ -1,0 +1,18 @@
+"""Known-bad MSL002 registry: ORPHAN is unlisted/unpriced/unbucketed,
+BETA is unpriced and maps to a bucket Figure 11 does not have."""
+
+
+class Op:
+    ALPHA = "alpha"
+    BETA = "beta"
+    ORPHAN = "orphan"
+
+    ALL = (ALPHA, BETA)
+
+
+FIGURE11_BUCKETS = ("Entities", "Other")
+
+_BUCKET_BY_OP = {
+    Op.ALPHA: "Entities",
+    Op.BETA: "Bogus Bucket",
+}

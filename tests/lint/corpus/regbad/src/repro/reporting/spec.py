@@ -1,0 +1,11 @@
+"""Known-bad MSL005 registry: ``stale_ms`` is never published and
+``tick_ms`` claims a report column METRIC_FIELDS does not define."""
+
+METRIC_FIELDS = {
+    "tick_p50_ms": "p50 tick (ms)",
+}
+
+SIDECAR_METRICS = {
+    "tick_ms": ("tick_p50_ms", "unknown_field"),
+    "stale_ms": ("tick_p50_ms",),
+}

@@ -1,0 +1,13 @@
+"""Known-bad MSL005 producer: publishes a metric the sidecar registry
+has never heard of."""
+
+TICK_METRIC = "tick_ms"
+
+
+class ServerTelemetry:
+    def __init__(self, bus):
+        self.bus = bus
+
+    def observe(self, value):
+        self.bus.publish(TICK_METRIC, value)
+        self.bus.publish("mystery_ms", value)

@@ -1,0 +1,15 @@
+"""Known-bad MSL004 registries: ``stale_entry`` names no field,
+``output_dir`` is listed as both fingerprinted and excluded, and
+``new_knob``/``unregistered_field`` have no decision at all."""
+
+_NON_MEASUREMENT_FIELDS = (
+    "output_dir",
+    "stale_entry",
+)
+
+_MEASUREMENT_FIELDS = (
+    "seed",
+    "autosave_interval_s",
+    "name",
+    "output_dir",
+)

@@ -1,0 +1,14 @@
+"""Clean twin: spec defaults agree with the config layer."""
+
+from dataclasses import dataclass
+
+_OVERRIDABLE_FIELDS = frozenset({"autosave_interval_s", "new_knob"})
+
+
+@dataclass
+class CampaignSpec:
+    name: str = "campaign"
+    seed: int = 0
+    autosave_interval_s: float = 45.0
+    new_knob: int = 4
+    output_dir: str = "out"

@@ -1,0 +1,12 @@
+"""Clean twin: defaults agree with the server layer, every field has a
+provenance decision."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MeterstickConfig:
+    output_dir: str = "out"
+    seed: int = 0
+    autosave_interval_s: float = 45.0
+    new_knob: int = 4

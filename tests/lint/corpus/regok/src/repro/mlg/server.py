@@ -1,0 +1,19 @@
+"""Clean twin: every knob threaded with an identical default."""
+
+AUTOSAVE_INTERVAL_S = 45.0
+
+
+class MLGServer:
+    def __init__(
+        self,
+        variant,
+        machine,
+        world=None,
+        clock=None,
+        seed=0,
+        autosave_interval_s=AUTOSAVE_INTERVAL_S,
+        new_knob=4,
+    ):
+        self.seed = seed
+        self.autosave_interval_s = autosave_interval_s
+        self.new_knob = new_knob

@@ -1,0 +1,8 @@
+"""Clean twin: every Op constant priced, nothing stale."""
+
+from repro.mlg.workreport import Op
+
+_BASE_COSTS = {
+    Op.ALPHA: 1.0,
+    Op.BETA: 2.0,
+}

@@ -1,0 +1,16 @@
+"""Clean twin of regbad: registries complete and mutually consistent."""
+
+
+class Op:
+    ALPHA = "alpha"
+    BETA = "beta"
+
+    ALL = (ALPHA, BETA)
+
+
+FIGURE11_BUCKETS = ("Entities", "Other")
+
+_BUCKET_BY_OP = {
+    Op.ALPHA: "Entities",
+    Op.BETA: "Other",
+}

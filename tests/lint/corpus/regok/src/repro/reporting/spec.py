@@ -1,0 +1,11 @@
+"""Clean twin: registry entries all published, all columns defined."""
+
+METRIC_FIELDS = {
+    "tick_p50_ms": "p50 tick (ms)",
+    "response_p50_ms": "p50 response (ms)",
+}
+
+SIDECAR_METRICS = {
+    "tick_ms": ("tick_p50_ms",),
+    "response_ms": ("response_p50_ms",),
+}

@@ -1,0 +1,13 @@
+"""Clean twin: only registered metrics reach the bus."""
+
+TICK_METRIC = "tick_ms"
+RESPONSE_METRIC = "response_ms"
+
+
+class ServerTelemetry:
+    def __init__(self, bus):
+        self.bus = bus
+
+    def observe(self, tick_value, response_value):
+        self.bus.publish(TICK_METRIC, tick_value)
+        self.bus.publish(RESPONSE_METRIC, response_value)

@@ -1,0 +1,12 @@
+"""Clean twin: every field in exactly one registry, nothing stale."""
+
+_NON_MEASUREMENT_FIELDS = (
+    "output_dir",
+)
+
+_MEASUREMENT_FIELDS = (
+    "seed",
+    "autosave_interval_s",
+    "new_knob",
+    "name",
+)

@@ -1,0 +1,177 @@
+"""Corpus tests: each rule fires on its known-bad fixture and stays
+quiet on the pragma'd/allowlisted twin.
+
+The fixtures under ``corpus/`` are mini project trees that mirror the
+real ``src/repro/...`` layout, so path scoping (MSL001) and the
+registry-file locations (MSL002–MSL005) resolve exactly as they do on
+the real tree — the engine just gets a different ``root``.
+"""
+
+from pathlib import Path
+
+from repro.lint import lint_paths
+
+CORPUS = Path(__file__).parent / "corpus"
+
+
+def lint_project(project: str):
+    return lint_paths(["src"], root=CORPUS / project)
+
+
+def findings_in(findings, path_suffix, rule=None):
+    return [
+        f
+        for f in findings
+        if f.path.endswith(path_suffix) and (rule is None or f.rule == rule)
+    ]
+
+
+class TestMSL001Determinism:
+    def test_fires_on_every_hazard_class(self):
+        found = findings_in(
+            lint_project("badproj"), "determinism_bad.py", "MSL001"
+        )
+        messages = "\n".join(f.message for f in found)
+        assert "time.time()" in messages
+        assert "datetime.datetime.now()" in messages
+        assert "random.random()" in messages
+        assert "numpy.random.normal()" in messages
+        assert "os.listdir()" in messages
+        assert ".iterdir()" in messages
+        assert "glob.glob()" in messages
+        assert "iteration over a set expression" in messages
+        assert "comprehension over a set expression" in messages
+        assert len(found) == 9
+
+    def test_quiet_on_sorted_sinks_and_pragma(self):
+        findings = lint_project("badproj")
+        assert findings_in(findings, "determinism_ok.py") == []
+
+    def test_does_not_police_non_simulation_paths(self):
+        # rng_bad.py lives under core/ — MSL001 is scoped out there even
+        # though it calls numpy.random.seed (MSL006's business).
+        findings = lint_project("badproj")
+        assert findings_in(findings, "rng_bad.py", "MSL001") == []
+
+
+class TestMSL002OpAccounting:
+    def test_fires_on_unregistered_count_sites(self):
+        found = findings_in(lint_project("badproj"), "ops_bad.py", "MSL002")
+        messages = "\n".join(f.message for f in found)
+        assert "Op.GAMMA is not a registered Op constant" in messages
+        assert "report.add('unpriced_op')" in messages
+        assert len(found) == 2
+
+    def test_quiet_on_registered_ops_and_pragma(self):
+        findings = lint_project("badproj")
+        assert findings_in(findings, "ops_ok.py") == []
+
+    def test_registry_cross_checks(self):
+        findings = [
+            f for f in lint_project("regbad") if f.rule == "MSL002"
+        ]
+        messages = "\n".join(f.message for f in findings)
+        assert "Op.ORPHAN missing from Op.ALL" in messages
+        assert "Op.ORPHAN has no cost" in messages
+        assert "Op.BETA has no cost" in messages
+        assert "Op.ORPHAN has no explicit _BUCKET_BY_OP entry" in messages
+        assert "stale cost-table entry Op.STALE" in messages
+        assert "unknown bucket 'Bogus Bucket'" in messages
+
+    def test_registry_quiet_when_consistent(self):
+        assert lint_project("regok") == []
+
+
+class TestMSL003KnobThreading:
+    def test_fires_on_divergent_and_unthreaded_knobs(self):
+        findings = [
+            f for f in lint_project("regbad") if f.rule == "MSL003"
+        ]
+        messages = "\n".join(f.message for f in findings)
+        assert (
+            "knob 'new_knob' defaults diverge: MLGServer uses 4, "
+            "MeterstickConfig uses 3" in messages
+        )
+        assert "missing from CampaignSpec" in messages
+        assert (
+            "knob 'server_only_knob' is not declared on MeterstickConfig"
+            in messages
+        )
+        assert (
+            "'autosave_interval_s' defaults diverge: MeterstickConfig uses "
+            "45.0, CampaignSpec uses 90.0" in messages
+        )
+        assert "_OVERRIDABLE_FIELDS lists 'ghost_field'" in messages
+
+    def test_server_local_params_are_not_knobs(self):
+        # variant/machine/world/clock never appear in regbad findings.
+        messages = "\n".join(f.message for f in lint_project("regbad"))
+        for wiring in ("'variant'", "'machine'", "'world'", "'clock'"):
+            assert wiring not in messages
+
+
+class TestMSL004ProvenanceHygiene:
+    def test_fires_on_undecided_stale_and_double_listed(self):
+        findings = [
+            f for f in lint_project("regbad") if f.rule == "MSL004"
+        ]
+        messages = "\n".join(f.message for f in findings)
+        assert "'new_knob' has no provenance decision" in messages
+        assert "'unregistered_field' has no provenance decision" in messages
+        assert "stale provenance registry entry 'stale_entry'" in messages
+        assert (
+            "'output_dir' is listed as both fingerprinted and excluded"
+            in messages
+        )
+        assert len(findings) == 4
+
+
+class TestMSL005TelemetryRegistration:
+    def test_fires_on_unregistered_stale_and_unknown_column(self):
+        findings = [
+            f for f in lint_project("regbad") if f.rule == "MSL005"
+        ]
+        messages = "\n".join(f.message for f in findings)
+        assert "'mystery_ms' is published to the bus but missing" in messages
+        assert "'stale_ms' is never published" in messages
+        assert (
+            "names 'unknown_field', which is not a METRIC_FIELDS"
+            in messages
+        )
+        assert len(findings) == 3
+
+    def test_resolves_metric_name_through_module_constant(self):
+        # tick_ms is published via the TICK_METRIC constant and is
+        # registered, so it must NOT be flagged as unregistered.
+        findings = [
+            f for f in lint_project("regbad") if f.rule == "MSL005"
+        ]
+        assert not any("'tick_ms' is published" in f.message for f in findings)
+
+
+class TestMSL006RngDiscipline:
+    def test_fires_on_every_construction_pattern(self):
+        found = findings_in(lint_project("badproj"), "rng_bad.py", "MSL006")
+        messages = "\n".join(f.message for f in found)
+        assert "default_rng() without a seed" in messages
+        assert "ignores_seed() takes rng/seed" in messages
+        assert "numpy.random.seed() reseeds the *global* generator" in messages
+        assert "random.Random() without a seed" in messages
+        assert len(found) == 4
+
+    def test_quiet_on_threaded_and_pinned_seeds(self):
+        findings = lint_project("badproj")
+        assert findings_in(findings, "rng_ok.py") == []
+
+
+class TestPartialScan:
+    def test_single_file_scan_skips_registry_finalizers(self):
+        # Linting one file must not fire "never published"/"missing
+        # from ALL" registry checks — they need the whole tree.
+        findings = lint_paths(
+            ["src/repro/telemetry/tap.py"], root=CORPUS / "regbad"
+        )
+        assert all(f.rule == "MSL005" for f in findings)
+        messages = "\n".join(f.message for f in findings)
+        assert "'mystery_ms' is published" in messages  # per-file: kept
+        assert "stale_ms" not in messages  # finalize-only: skipped

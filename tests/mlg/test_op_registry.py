@@ -1,0 +1,77 @@
+"""Runtime twin of lint rule MSL002: the Op registry, the cost table,
+and the bucket map agree — and every Op is actually recorded somewhere.
+
+The lint rule proves these invariants statically (pure ``ast``); this
+test proves them against the *imported* modules, so a registry that
+parses fine but diverges at runtime (e.g. a constant shadowed later)
+still fails CI.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.mlg import variants
+from repro.mlg.workreport import _BUCKET_BY_OP, FIGURE11_BUCKETS, Op
+
+SRC_ROOT = Path(variants.__file__).resolve().parents[1]
+
+#: The registry files themselves — Op.X references there are
+#: definitions/registrations, not engine call sites.
+_REGISTRY_FILES = {"workreport.py", "variants.py"}
+
+
+def op_constants() -> dict[str, str]:
+    """name -> value for every string constant on Op (minus ALL)."""
+    return {
+        name: value
+        for name, value in vars(Op).items()
+        if not name.startswith("_") and isinstance(value, str)
+    }
+
+
+class TestOpRegistry:
+    def test_all_lists_every_constant_exactly_once(self):
+        constants = op_constants()
+        assert sorted(Op.ALL) == sorted(constants.values())
+        assert len(set(Op.ALL)) == len(Op.ALL)
+
+    def test_every_op_has_a_base_cost(self):
+        base = variants._BASE_COSTS
+        missing = [op for op in Op.ALL if op not in base]
+        assert missing == [], f"uncosted ops: {missing}"
+
+    def test_every_variant_prices_every_op(self):
+        for name, profile in variants.VARIANTS.items():
+            missing = [op for op in Op.ALL if op not in profile.cost_table]
+            assert missing == [], f"variant {name!r} misses: {missing}"
+
+    def test_every_op_has_an_explicit_bucket(self):
+        assert sorted(_BUCKET_BY_OP) == sorted(Op.ALL)
+        unknown = {
+            op: bucket
+            for op, bucket in _BUCKET_BY_OP.items()
+            if bucket not in FIGURE11_BUCKETS
+        }
+        assert unknown == {}
+
+    def test_every_op_is_recorded_by_some_engine(self):
+        """Each Op constant appears at ≥1 call site outside the registry
+        files — a priced-and-bucketed op nothing records is dead weight
+        in the cost model."""
+        referenced: set[str] = set()
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            if path.name in _REGISTRY_FILES or "__pycache__" in path.parts:
+                continue
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "Op"
+                ):
+                    referenced.add(node.attr)
+        constants = op_constants()
+        unreferenced = sorted(set(constants) - referenced)
+        assert unreferenced == [], (
+            f"ops never recorded by any engine: {unreferenced}"
+        )

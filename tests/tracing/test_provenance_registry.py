@@ -1,0 +1,48 @@
+"""Runtime twin of lint rule MSL004: the provenance field registries
+partition the real config/spec surface — every field has exactly one
+fate, nothing stale, and ``measurement_config`` strips exactly the
+excluded set."""
+
+import dataclasses
+
+from repro.campaign.spec import CampaignSpec
+from repro.core.config import MeterstickConfig
+from repro.tracing.provenance import (
+    _MEASUREMENT_FIELDS,
+    _NON_MEASUREMENT_FIELDS,
+    measurement_config,
+)
+
+
+def config_surface() -> set[str]:
+    return {
+        f.name for f in dataclasses.fields(MeterstickConfig)
+    } | {f.name for f in dataclasses.fields(CampaignSpec)}
+
+
+class TestProvenanceRegistry:
+    def test_registries_partition_the_config_surface(self):
+        fingerprinted = set(_MEASUREMENT_FIELDS)
+        excluded = set(_NON_MEASUREMENT_FIELDS)
+        assert fingerprinted & excluded == set()
+        surface = config_surface()
+        undecided = surface - fingerprinted - excluded
+        assert undecided == set(), (
+            f"config fields without a provenance decision: "
+            f"{sorted(undecided)}"
+        )
+        stale = (fingerprinted | excluded) - surface
+        assert stale == set(), (
+            f"stale provenance registry entries: {sorted(stale)}"
+        )
+
+    def test_no_duplicate_registry_entries(self):
+        assert len(set(_MEASUREMENT_FIELDS)) == len(_MEASUREMENT_FIELDS)
+        assert len(set(_NON_MEASUREMENT_FIELDS)) == len(
+            _NON_MEASUREMENT_FIELDS
+        )
+
+    def test_measurement_config_strips_exactly_the_exclusions(self):
+        resolved = {name: name for name in config_surface()}
+        stripped = measurement_config(resolved)
+        assert set(stripped) == set(resolved) - set(_NON_MEASUREMENT_FIELDS)
