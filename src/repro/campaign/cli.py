@@ -9,6 +9,8 @@ Usage (also via the ``repro`` console script)::
     python -m repro report meterstick-out/
     python -m repro report campaign.yaml --update-output
     python -m repro trace export meterstick-out/
+    python -m repro serve campaign.yaml --cell 0 --port 25570
+    python -m repro clients --port 25570 -n 25
     python -m repro world prepare worlds/control --workload control
     python -m repro world inspect worlds/control
     python -m repro lint src --baseline
@@ -21,7 +23,10 @@ runs.  ``trace export`` renders a traced campaign (spec ``trace: true``)
 as Chrome trace-event JSON, loadable in Perfetto or ``chrome://tracing``.
 ``lint`` runs the static invariant checkers (:mod:`repro.lint`) that
 guard the determinism and accounting conventions the bit-identity
-claims rest on.
+claims rest on.  ``serve``/``clients`` split one cell across real TCP
+sockets: ``serve`` runs a cell's server chain behind the asyncio wire
+front end (writing the standard manifest/sidecar/shard artifacts), and
+``clients`` ramps emulated players against it from a separate process.
 """
 
 from __future__ import annotations
@@ -125,6 +130,55 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="trace file to write (default: <output_dir>/export/trace.json)",
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve one campaign cell over TCP (players connect with "
+        "'repro clients'); writes the standard manifest/sidecars/shard",
+    )
+    serve.add_argument("spec", help="campaign spec file (.yaml/.yml/.json)")
+    serve.add_argument(
+        "--cell",
+        type=int,
+        default=0,
+        metavar="N",
+        help="planned job index to serve (default: 0)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="listen port (default: the spec's wire_port; 0 = OS-assigned)",
+    )
+    serve.add_argument(
+        "--no-realtime",
+        action="store_true",
+        help="tick as fast as possible instead of pacing 50 ms/tick",
+    )
+
+    clients = sub.add_parser(
+        "clients",
+        help="ramp N emulated players over TCP against 'repro serve'",
+    )
+    clients.add_argument("--host", default="127.0.0.1")
+    clients.add_argument("--port", type=int, required=True)
+    clients.add_argument("-n", type=int, default=25, help="bot count")
+    clients.add_argument("--behavior", default="bounded-random")
+    clients.add_argument(
+        "--stagger-s",
+        type=float,
+        default=0.25,
+        help="wall seconds between joins (0 = connect storm)",
+    )
+    clients.add_argument(
+        "--duration-s",
+        type=float,
+        default=None,
+        help="give up after this much wall time (default: until the "
+        "server closes the iteration)",
+    )
+    clients.add_argument("--seed", type=int, default=0)
 
     world = sub.add_parser(
         "world", help="prepare and inspect on-disk world directories"
@@ -490,6 +544,41 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Lazy import: repro.net is the wall-clock/socket layer, loaded only
+    # when wire serving is actually requested.
+    from repro.net import serve_cell
+
+    summary = serve_cell(
+        args.spec,
+        cell=args.cell,
+        host=args.host,
+        port=args.port,
+        realtime=not args.no_realtime,
+    )
+    print(
+        f"Served cell {summary['cell']} ({summary['job_id']}): "
+        f"{summary['iterations']} iteration(s) → {summary['shard']}"
+    )
+    return 1 if summary["crashed"] else 0
+
+
+def _cmd_clients(args: argparse.Namespace) -> int:
+    from repro.net import run_clients
+
+    summary = run_clients(
+        args.host,
+        args.port,
+        args.n,
+        behavior=args.behavior,
+        stagger_s=args.stagger_s,
+        duration_s=args.duration_s,
+        seed=args.seed,
+    )
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    return 0 if summary["connected"] == args.n else 1
+
+
 def _cmd_world(args: argparse.Namespace) -> int:
     from repro.persistence.warmup import (
         DEFAULT_PREPARE_RADIUS,
@@ -562,6 +651,10 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_report(args)
         if args.command == "trace":
             return _cmd_trace(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
+        if args.command == "clients":
+            return _cmd_clients(args)
         if args.command == "world":
             return _cmd_world(args)
         if args.command == "lint":

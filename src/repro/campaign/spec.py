@@ -54,6 +54,9 @@ _OVERRIDABLE_FIELDS = frozenset(
         "trace",
         "trace_sample_every",
         "slow_tick_factor",
+        "transport",
+        "wire_port",
+        "wire_batch_flush",
     }
 )
 
@@ -129,6 +132,11 @@ class CampaignSpec:
     trace: bool = False
     trace_sample_every: int = 1
     slow_tick_factor: float = 3.0
+
+    # -- transport (applied to every cell; see MeterstickConfig) ----------
+    transport: str = "inproc"
+    wire_port: int = 0
+    wire_batch_flush: bool = True
 
     output_dir: str = "meterstick-out"
     #: Default worker-process count for the executor (CLI ``--jobs`` wins).
@@ -209,6 +217,14 @@ class CampaignSpec:
             raise ValueError(
                 f"slow_tick_factor must be positive: "
                 f"{self.slow_tick_factor!r}"
+            )
+        if self.transport not in ("inproc", "tcp"):
+            raise ValueError(
+                f"unknown transport {self.transport!r}; known: inproc, tcp"
+            )
+        if not 0 <= self.wire_port <= 65535:
+            raise ValueError(
+                f"wire_port must be 0..65535: {self.wire_port!r}"
             )
         if self.output:
             from repro.reporting.spec import validate_output
@@ -310,6 +326,9 @@ class CampaignSpec:
             trace=self.trace,
             trace_sample_every=self.trace_sample_every,
             slow_tick_factor=self.slow_tick_factor,
+            transport=self.transport,
+            wire_port=self.wire_port,
+            wire_batch_flush=self.wire_batch_flush,
         )
         for override in self.overrides:
             where = override.get("where", {})

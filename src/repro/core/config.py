@@ -68,6 +68,17 @@ class MeterstickConfig:
     iterations: int = 1
     scale: float = 1.0
 
+    # -- transport (wire serving) ------------------------------------------
+    #: How bots reach the server: ``"inproc"`` (direct-call sessions,
+    #: bit-identical to the historical path) or ``"tcp"`` (the asyncio
+    #: wire front end, served via ``repro serve`` + ``repro clients``).
+    transport: str = "inproc"
+    #: TCP port the wire front end binds (0 = OS-assigned ephemeral).
+    wire_port: int = 0
+    #: Pack per-tick entity moves into batched wire frames instead of one
+    #: padded packet per modeled move.
+    wire_batch_flush: bool = True
+
     # -- world persistence & chunk streaming -------------------------------
     #: Live world directory (region files; autosave writes, reloads read).
     #: ``None`` (the default) keeps the purely in-memory world.
@@ -152,6 +163,15 @@ class MeterstickConfig:
             raise ValueError(
                 f"max_loaded_chunks must be >= 1 (or None): "
                 f"{self.max_loaded_chunks!r}"
+            )
+        if self.transport not in ("inproc", "tcp"):
+            raise ValueError(
+                f"unknown transport {self.transport!r}; "
+                f"known: inproc, tcp"
+            )
+        if not 0 <= self.wire_port <= 65535:
+            raise ValueError(
+                f"wire_port must be 0..65535: {self.wire_port!r}"
             )
         if self.trace_sample_every < 1:
             raise ValueError(

@@ -55,6 +55,9 @@ def run_iteration(
     trace: bool = False,
     trace_sample_every: int = 1,
     slow_tick_factor: float = 3.0,
+    transport: str = "inproc",
+    wire_port: int = 0,
+    wire_batch_flush: bool = True,
 ) -> IterationResult:
     """Run one iteration and return its measurements.
 
@@ -101,6 +104,9 @@ def run_iteration(
         trace=trace,
         trace_sample_every=trace_sample_every,
         slow_tick_factor=slow_tick_factor,
+        transport=transport,
+        wire_port=wire_port,
+        wire_batch_flush=wire_batch_flush,
     )
     rng = np.random.default_rng(seed ^ 0x5EED)
     swarm = BotSwarm(server, env.network, rng)
@@ -252,6 +258,9 @@ def run_server_chain(
             trace=config.trace,
             trace_sample_every=config.trace_sample_every,
             slow_tick_factor=config.slow_tick_factor,
+            transport=config.transport,
+            wire_port=config.wire_port,
+            wire_batch_flush=config.wire_batch_flush,
         )
         iteration_result.throttled_ticks = (
             machine.throttled_executions - throttled_before

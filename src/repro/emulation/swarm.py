@@ -3,6 +3,10 @@
 Plays the role of Meterstick's player-emulation workers (Fig. 5): connects
 ``n`` bots (optionally staggered, the way real players trickle in), steps
 them after every server tick, and aggregates their response-time samples.
+
+The swarm holds a *transport*, never a server: every bot it creates gets
+its own :class:`~repro.mlg.transport.ServerSession`, so the same swarm
+code drives in-process and wire-backed fleets.
 """
 
 from __future__ import annotations
@@ -14,21 +18,25 @@ import numpy as np
 from repro.cloud.network import NetworkModel
 from repro.emulation.behavior import Behavior, Idle, make_behavior
 from repro.emulation.bot import EmulatedPlayer
-from repro.mlg.server import MLGServer
+from repro.mlg.transport import as_transport
 
 __all__ = ["BotSwarm"]
 
 
 class BotSwarm:
-    """A set of bots plus their connection plan."""
+    """A set of bots plus their connection plan.
+
+    ``target`` may be a transport or a bare ``MLGServer`` (normalized via
+    :func:`as_transport` for callers that predate the boundary).
+    """
 
     def __init__(
         self,
-        server: MLGServer,
+        target,
         network: NetworkModel,
         rng: np.random.Generator,
     ) -> None:
-        self.server = server
+        self.transport = as_transport(target)
         self.network = network
         self.rng = rng
         self.bots: list[EmulatedPlayer] = []
@@ -53,7 +61,7 @@ class BotSwarm:
         def factory() -> EmulatedPlayer:
             return EmulatedPlayer(
                 name,
-                self.server,
+                self.transport.session(),
                 self.rng,
                 behavior=behavior,
                 spawn_x=spawn_x,
@@ -67,7 +75,7 @@ class BotSwarm:
         if connect_delay_s <= 0.0:
             self.bots.append(factory())
         else:
-            connect_at = self.server.clock.now_us + int(connect_delay_s * 1e6)
+            connect_at = self.transport.now_us() + int(connect_delay_s * 1e6)
             self._pending.append((connect_at, factory))
             self._pending.sort(key=lambda entry: entry[0])
 
@@ -113,7 +121,7 @@ class BotSwarm:
 
     def step(self) -> None:
         """Connect due bots, then step everyone (call after a server tick)."""
-        now = self.server.clock.now_us
+        now = self.transport.now_us()
         while self._pending and self._pending[0][0] <= now:
             _, factory = self._pending.pop(0)
             self.bots.append(factory())

@@ -21,6 +21,9 @@ MSL005   telemetry registration: every bus-published metric is in the
          reporting sidecar-metric registry (and vice versa)
 MSL006   rng discipline: functions taking ``rng``/``seed`` must not
          construct their own generator; ``default_rng()`` must be seeded
+MSL007   transport layering: emulation code may import only the session
+         boundary (``repro.mlg.transport``/``protocol``), never server
+         internals
 =======  ==============================================================
 """
 
@@ -121,7 +124,19 @@ RULES = {
     "MSL004": ("error", "config field missing a provenance decision"),
     "MSL005": ("error", "bus metric missing from the sidecar registry"),
     "MSL006": ("error", "rng constructed instead of threaded"),
+    "MSL007": ("error", "emulation imports mlg internals past the transport boundary"),
 }
+
+#: MSL007: the only ``repro.mlg`` modules emulation code may touch — the
+#: session boundary itself and the pure protocol vocabulary.  Everything
+#: else (server, netqueue, world, variants, ...) is server-side internals
+#: a wire-backed fleet cannot have.
+EMULATION_ALLOWED_MLG = frozenset(
+    {"repro.mlg.transport", "repro.mlg.protocol"}
+)
+
+#: Where the emulation (client) side of the transport boundary lives.
+EMULATION_PATH_PREFIX = "src/repro/emulation/"
 
 
 class Checker:
@@ -652,6 +667,52 @@ class RngDisciplineChecker(Checker):
             )
 
 
+class TransportLayeringChecker(Checker):
+    """MSL007: emulation sees only the session boundary, never the server.
+
+    The parity guarantee between in-process and wire-backed fleets holds
+    because bots can only do what :class:`~repro.mlg.transport
+    .ServerSession` offers.  A single ``server.world`` reach-in would
+    compile fine in-process and be impossible over a socket, so the
+    boundary is enforced at import level: ``repro.mlg.transport`` and
+    ``repro.mlg.protocol`` are the whole allowed surface.
+    """
+
+    rule = "MSL007"
+    interests = (ast.Import, ast.ImportFrom)
+
+    def applies_to(self, rel_path: str) -> bool:
+        return rel_path.startswith(EMULATION_PATH_PREFIX)
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                self._check(ctx, node, alias.name)
+            return
+        module = node.module or ""  # type: ignore[union-attr]
+        if node.level:  # type: ignore[union-attr]
+            return  # relative import: stays inside repro.emulation
+        if module == "repro.mlg":
+            # `from repro.mlg import X` imports submodule or name X.
+            for alias in node.names:  # type: ignore[union-attr]
+                self._check(ctx, node, f"{module}.{alias.name}")
+            return
+        self._check(ctx, node, module)
+
+    def _check(self, ctx: "FileContext", node: ast.AST, module: str) -> None:
+        if not (module == "repro.mlg" or module.startswith("repro.mlg.")):
+            return
+        if module in EMULATION_ALLOWED_MLG:
+            return
+        self.report(
+            ctx,
+            node,
+            f"emulation imports {module!r} — bots may touch only the "
+            "session boundary (repro.mlg.transport / repro.mlg.protocol); "
+            "anything else cannot exist on the wire-client side",
+        )
+
+
 #: Checker classes in rule order; the engine instantiates fresh ones
 #: per run (MSL005 carries cross-file state).
 ALL_CHECKERS = (
@@ -661,4 +722,5 @@ ALL_CHECKERS = (
     ProvenanceHygieneChecker,
     TelemetryRegistrationChecker,
     RngDisciplineChecker,
+    TransportLayeringChecker,
 )

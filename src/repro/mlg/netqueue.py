@@ -34,7 +34,12 @@ class Delivery:
 
 @dataclass
 class ClientEndpoint:
-    """Per-client networking state held by the server."""
+    """Per-client networking state held by the server.
+
+    The delivery buffer is private: consumers (the in-process session and
+    the TCP writer alike) take ownership of buffered deliveries through
+    :meth:`drain_deliveries` instead of indexing into server state.
+    """
 
     client_id: int
     latency_up_us: int
@@ -44,7 +49,20 @@ class ClientEndpoint:
     next_keepalive_due_us: int
     disconnected: bool = False
     disconnect_reason: str | None = None
-    deliveries: list[Delivery] = field(default_factory=list)
+    _deliveries: list[Delivery] = field(default_factory=list)
+
+    def push_delivery(self, delivery: Delivery) -> None:
+        self._deliveries.append(delivery)
+
+    def drain_deliveries(self) -> list[Delivery]:
+        """Hand over (and clear) every delivery buffered since last drain."""
+        drained = self._deliveries
+        self._deliveries = []
+        return drained
+
+    @property
+    def pending_deliveries(self) -> int:
+        return len(self._deliveries)
 
 
 class NetworkQueues:
@@ -167,7 +185,7 @@ class NetworkQueues:
         delivery = Delivery(
             client_id, category, payload, flush_us + endpoint.latency_down_us
         )
-        endpoint.deliveries.append(delivery)
+        endpoint.push_delivery(delivery)
         return delivery
 
     # -- keepalives and timeouts ------------------------------------------------------

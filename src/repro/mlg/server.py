@@ -71,6 +71,9 @@ class MLGServer:
         trace: bool = False,
         trace_sample_every: int = 1,
         slow_tick_factor: float = 3.0,
+        transport: str = "inproc",
+        wire_port: int = 0,
+        wire_batch_flush: bool = True,
     ) -> None:
         self.variant = (
             get_variant(variant) if isinstance(variant, str) else variant
@@ -82,6 +85,15 @@ class MLGServer:
         #: Keep the raw per-tick record list (the figure pipeline needs
         #: it); ``False`` runs with O(1) telemetry memory per metric.
         self.retain_raw = retain_raw
+        #: Transport knobs: how clients reach this server.  ``inproc``
+        #: serves direct-call sessions (:mod:`repro.mlg.transport`);
+        #: ``tcp`` is consumed by the wire front end (:mod:`repro.net`),
+        #: which binds ``wire_port`` and batches entity-move frames when
+        #: ``wire_batch_flush`` is set.  The simulation itself never
+        #: branches on these — a served run ticks identically.
+        self.transport = transport
+        self.wire_port = wire_port
+        self.wire_batch_flush = wire_batch_flush
         #: Streaming per-tick telemetry; the game loop is its producer.
         self.telemetry = ServerTelemetry(
             TICK_BUDGET_US, window_size=telemetry_window

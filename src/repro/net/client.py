@@ -1,0 +1,323 @@
+"""The separate-process client driver: N emulated players over TCP.
+
+``repro clients --host --port -n N`` ramps ``N`` bots against a running
+``repro serve`` front end.  The bots are the *same*
+:class:`~repro.emulation.bot.EmulatedPlayer` code that drives in-process
+runs — they just hold a :class:`TcpSession` (a
+:class:`~repro.mlg.transport.ServerSession` over a socket) instead of an
+in-process one.  Each completed chat-probe response streams back to the
+server as a ``RESPONSE_SAMPLE`` frame, so the serve side owns the full
+measurement record and writes the standard iteration sidecars.
+
+Clients keep the simulation's keepalive contract on their own wall
+clock: a connection that goes ``CLIENT_TIMEOUT_US`` without any traffic
+is abandoned, mirroring how real clients give up on a stalled server.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import numpy as np
+
+from repro.emulation.behavior import make_behavior
+from repro.emulation.bot import EmulatedPlayer
+from repro.mlg import wirecodec as wc
+from repro.mlg.constants import CLIENT_TIMEOUT_US
+from repro.mlg.transport import Delivery, ServerSession, SessionInfo
+
+__all__ = ["TcpSession", "run_clients"]
+
+_READ_CHUNK = 65536
+
+#: Players workload movement box (matches ``BotSwarm.add_player_workload``).
+_DEFAULT_AREA = (0.0, 0.0, 32.0, 32.0)
+
+
+class TcpSession(ServerSession):
+    """A :class:`ServerSession` bound to one TCP connection.
+
+    The fleet performs the HELLO/WELCOME handshake asynchronously before
+    the bot exists; :meth:`connect` then just replays the negotiated
+    welcome, and the synchronous bot-side calls (submit, poll, clock)
+    map onto the connection's writer and the frames its reader buffered.
+    The server clock is known from the last ``TICK``/``WELCOME`` frame;
+    ground height is the client-side approximation (spawn terrain), the
+    one piece of world knowledge a real client gets from chunk data.
+    """
+
+    def __init__(self, connection: "_Connection", welcome: wc.WireWelcome):
+        self._conn = connection
+        self._welcome = welcome
+        self._deliveries: list[Delivery] = []
+        self._now_us = welcome.now_us
+        self._ground = max(int(welcome.y) - 1, 1)
+        self._open = True
+
+    # -- fleet-side feeding --------------------------------------------------
+
+    def on_delivery(self, msg: wc.WireDelivery) -> None:
+        self._deliveries.append(
+            Delivery(
+                self._welcome.client_id,
+                msg.category,
+                msg.payload,
+                msg.delivered_at_us,
+            )
+        )
+
+    def on_tick(self, now_us: int) -> None:
+        self._now_us = now_us
+
+    def mark_closed(self) -> None:
+        self._open = False
+
+    # -- ServerSession -------------------------------------------------------
+
+    def connect(
+        self,
+        name: str,
+        spawn_x: float,
+        spawn_z: float,
+        latency_up_us: int,
+        latency_down_us: int,
+        view_distance: int | None = None,
+    ) -> SessionInfo:
+        welcome = self._welcome
+        return SessionInfo(welcome.client_id, welcome.x, welcome.y, welcome.z)
+
+    def disconnect(self, reason: str = "client quit") -> None:
+        if self._open:
+            self._conn.send(wc.encode_bye(reason))
+            self._open = False
+
+    @property
+    def connected(self) -> bool:
+        return self._open
+
+    def submit(self, action, sent_at_us: int) -> None:
+        self._conn.send(wc.encode_action(action, sent_at_us))
+
+    def poll_deliveries(self) -> list[Delivery]:
+        drained = self._deliveries
+        self._deliveries = []
+        return drained
+
+    def ground_height(self, x: int, z: int) -> int:
+        return self._ground
+
+    def now_us(self) -> int:
+        return self._now_us
+
+    def record_response_ms(self, response_ms: float) -> None:
+        self._conn.send(wc.encode_response_sample(response_ms))
+
+    @property
+    def retain_raw(self) -> bool:
+        return True
+
+
+class _Connection:
+    """One socket + decoder + bot, driven by the fleet's event loop."""
+
+    def __init__(
+        self,
+        index: int,
+        host: str,
+        port: int,
+        behavior_name: str,
+        rng: np.random.Generator,
+        probe_interval_s: float,
+        latency_us: int,
+        view_distance: int | None,
+    ) -> None:
+        self.index = index
+        self.name = f"wire-bot-{index}"
+        self.host = host
+        self.port = port
+        self.behavior_name = behavior_name
+        self.rng = rng
+        self.probe_interval_s = probe_interval_s
+        self.latency_us = latency_us
+        self.view_distance = view_distance
+        self.connected = False
+        self.ticks_seen = 0
+        self.bot: EmulatedPlayer | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    def send(self, frame: bytes) -> None:
+        if self._writer is not None:
+            self._writer.write(frame)
+
+    @property
+    def response_times_ms(self) -> list[float]:
+        return self.bot.response_times_ms if self.bot is not None else []
+
+    async def run(self, stop_at_wall: float | None) -> None:
+        spawn_x = float(self.rng.uniform(_DEFAULT_AREA[0], _DEFAULT_AREA[2]))
+        spawn_z = float(self.rng.uniform(_DEFAULT_AREA[1], _DEFAULT_AREA[3]))
+        try:
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+        except OSError:
+            return
+        self._writer = writer
+        decoder = wc.FrameDecoder()
+        try:
+            writer.write(
+                wc.encode_hello(
+                    self.name,
+                    spawn_x,
+                    spawn_z,
+                    self.latency_us,
+                    self.latency_us,
+                    self.view_distance,
+                )
+            )
+            await writer.drain()
+            welcome: wc.WireWelcome | None = None
+            backlog: list = []
+            while welcome is None:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    return
+                for msg in decoder.feed(chunk):
+                    if welcome is None and isinstance(msg, wc.WireWelcome):
+                        welcome = msg
+                    else:
+                        backlog.append(msg)
+            session = TcpSession(self, welcome)
+            # The bot's constructor "connects" (replaying the welcome)
+            # and fires its join-time probe straight onto the wire.
+            self.bot = EmulatedPlayer(
+                self.name,
+                session,
+                self.rng,
+                behavior=make_behavior(self.behavior_name, _DEFAULT_AREA),
+                spawn_x=spawn_x,
+                spawn_z=spawn_z,
+                latency_up_us=self.latency_us,
+                latency_down_us=self.latency_us,
+                probe_interval_s=self.probe_interval_s,
+            )
+            self.connected = True
+            await writer.drain()
+            timeout_s = CLIENT_TIMEOUT_US / 1e6
+            last_rx = time.monotonic()
+            for msg in backlog:
+                self._dispatch(session, msg)
+            while True:
+                if stop_at_wall is not None and (
+                    time.monotonic() >= stop_at_wall
+                ):
+                    session.disconnect("client done")
+                    await writer.drain()
+                    break
+                try:
+                    chunk = await asyncio.wait_for(
+                        reader.read(_READ_CHUNK), timeout=1.0
+                    )
+                except asyncio.TimeoutError:
+                    if time.monotonic() - last_rx >= timeout_s:
+                        break  # server went silent: client-side timeout
+                    continue
+                if not chunk:
+                    break  # server closed the iteration
+                last_rx = time.monotonic()
+                stepped = False
+                for msg in decoder.feed(chunk):
+                    stepped = self._dispatch(session, msg) or stepped
+                if stepped:
+                    await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if self.bot is not None:
+                self.bot.session.mark_closed()
+            writer.close()
+            self._writer = None
+
+    def _dispatch(self, session: TcpSession, msg) -> bool:
+        """Feed one server frame into the session; True when the bot
+        stepped (a TICK frame arrived)."""
+        if isinstance(msg, wc.WireDelivery):
+            session.on_delivery(msg)
+            return False
+        if isinstance(msg, wc.WireTick):
+            session.on_tick(msg.now_us)
+            self.ticks_seen += 1
+            if self.bot is not None:
+                self.bot.step(session.now_us())
+            return True
+        # STATE / ENTITY_BATCH frames are world traffic the bot does not
+        # act on; their bytes are the point (bandwidth realism).
+        return False
+
+
+def run_clients(
+    host: str,
+    port: int,
+    n: int,
+    behavior: str = "bounded-random",
+    stagger_s: float = 0.25,
+    probe_interval_s: float = 1.0,
+    duration_s: float | None = None,
+    latency_us: int = 0,
+    view_distance: int | None = None,
+    seed: int = 0,
+) -> dict:
+    """Ramp ``n`` bots against a wire server; returns a summary dict.
+
+    Bots connect with ``stagger_s`` of wall time between joins (the way
+    real players trickle in — and the connect-storm knob: 0 connects
+    everyone at once).  They run until the server closes the iteration,
+    they time out, or ``duration_s`` wall seconds elapse.  Modeled
+    latencies default to 0 on the wire: the real socket provides the
+    delay the in-process network model simulates.
+    """
+    connections = [
+        _Connection(
+            index=i,
+            host=host,
+            port=port,
+            behavior_name=behavior,
+            rng=np.random.default_rng(seed + i),
+            probe_interval_s=probe_interval_s,
+            latency_us=latency_us,
+            view_distance=view_distance,
+        )
+        for i in range(n)
+    ]
+
+    async def _ramp() -> None:
+        stop_at = (
+            time.monotonic() + duration_s if duration_s is not None else None
+        )
+
+        async def _one(conn: _Connection) -> None:
+            await asyncio.sleep(conn.index * stagger_s)
+            await conn.run(stop_at)
+
+        await asyncio.gather(*(_one(conn) for conn in connections))
+
+    asyncio.run(_ramp())
+
+    samples: list[float] = []
+    for conn in connections:
+        samples.extend(conn.response_times_ms)
+    summary = {
+        "clients": n,
+        "connected": sum(1 for conn in connections if conn.connected),
+        "ticks_seen": max(
+            (conn.ticks_seen for conn in connections), default=0
+        ),
+        "samples": len(samples),
+    }
+    if samples:
+        arr = np.asarray(samples)
+        summary["response_p50_ms"] = float(np.percentile(arr, 50))
+        summary["response_p99_ms"] = float(np.percentile(arr, 99))
+        summary["response_max_ms"] = float(arr.max())
+    return summary

@@ -1,0 +1,311 @@
+"""``repro serve``: run one campaign cell behind the TCP front end.
+
+The serve side owns the full measurement record: it plans the campaign
+exactly like the executor (same job ids, same manifest, same provenance
+fingerprints), picks one cell, and runs its server chain behind a
+:class:`~repro.net.server.WireServer` instead of an in-process swarm.
+Players arrive over real sockets (``repro clients``); everything the
+in-process path writes — manifest, per-iteration telemetry sidecars,
+the completed job shard — lands in the same layout, so ``repro report``
+and ``repro status`` work on wire-served campaigns unchanged.  The
+sidecars additionally carry the ``wire_*`` metrics (bytes in/out, flush
+wall time, connects) that only exist when real sockets are involved.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import shutil
+from pathlib import Path
+
+from repro.campaign.executor import anomaly_lines, telemetry_line
+from repro.campaign.planner import JobPlanner
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import JobStore
+from repro.cloud.providers import get_environment
+from repro.core.collectors import MetricExternalizer, SystemMetricsCollector
+from repro.core.results import IterationResult
+from repro.mlg.server import MLGServer
+from repro.net.server import WireServer, wire_metrics_snapshot
+from repro.simtime import SimClock, s_to_us
+from repro.tracing.provenance import measurement_config, provenance_fingerprint
+from repro.workloads import get_workload
+
+__all__ = ["serve_cell"]
+
+
+class _ExternalFleet:
+    """The swarm-shaped null object handed to ``workload.install``.
+
+    Workloads populate their player emulation through the swarm API; on
+    the wire path every player comes over a socket instead, so install's
+    bot requests are deliberately dropped — the workload still shapes the
+    world and server, only the emulation moves out of process.
+    """
+
+    def add_bot(self, *args, **kwargs) -> None:
+        pass
+
+    def add_observer(self, *args, **kwargs) -> None:
+        pass
+
+    def add_player_workload(self, *args, **kwargs) -> None:
+        pass
+
+    def step(self) -> None:
+        pass
+
+    def response_times_ms(self) -> list[float]:
+        return []
+
+    @property
+    def connected_count(self) -> int:
+        return 0
+
+
+def serve_cell(
+    spec_path: str | Path,
+    cell: int = 0,
+    host: str = "127.0.0.1",
+    port: int | None = None,
+    realtime: bool = True,
+    on_listen=None,
+) -> dict:
+    """Serve one planned cell of ``spec_path`` over TCP; returns a summary.
+
+    ``cell`` indexes the planned job list (``repro plan`` order).  The
+    wire port comes from ``--port``, else the spec's ``wire_port`` knob
+    (0 = OS-assigned); whichever port the first iteration binds is kept
+    for the rest of the chain so clients can reconnect between
+    iterations.  ``on_listen(port)`` fires once per iteration after the
+    socket is bound — scripts and tests use it to start their client
+    fleet at the right moment.
+    """
+    spec = CampaignSpec.from_file(spec_path)
+    planner = JobPlanner(spec)
+    plan = planner.plan()
+    if not 0 <= cell < len(plan):
+        raise ValueError(
+            f"cell {cell} out of range: spec plans {len(plan)} job(s)"
+        )
+    job = plan[cell]
+    config = planner.job_config(job)
+    store = JobStore(spec.output_dir)
+    if store.shard_path(job.job_id).exists():
+        raise FileExistsError(
+            f"{store.shard_path(job.job_id)} already holds this cell's "
+            "measurements; choose a fresh output_dir"
+        )
+    # Same manifest the executor writes: full planned job list, spec, and
+    # the campaign's (timestamped) provenance + hygiene snapshot — other
+    # cells of the same spec may be served later into the same store.
+    from repro.reporting.hygiene import hygiene_snapshot
+
+    provenance = provenance_fingerprint(
+        measurement_config(spec.to_dict()), include_timestamp=True
+    )
+    provenance["hygiene"] = hygiene_snapshot(spec.system)
+    store.write_manifest(spec, plan, provenance=provenance)
+
+    iterations = asyncio.run(
+        _serve_chain(job, config, store, host, port, realtime, on_listen)
+    )
+    store.save_job(job, iterations)
+    return {
+        "job_id": job.job_id,
+        "cell": job.cell.key(),
+        "iterations": len(iterations),
+        "crashed": any(it.crashed for it in iterations),
+        "shard": str(store.shard_path(job.job_id)),
+    }
+
+
+async def _serve_chain(
+    job,
+    config,
+    store: JobStore,
+    host: str,
+    port: int | None,
+    realtime: bool,
+    on_listen,
+) -> list[IterationResult]:
+    """The wire twin of ``run_server_chain``: one persistent machine and
+    clock across the chain, one sidecar line per finished iteration."""
+    server_name = job.server
+    env = get_environment(config.environment)
+    machine = env.create_machine(seed=config.iteration_seed(server_name, -1))
+    if config.warm_machines:
+        machine.drain_credits()
+    clock = SimClock()
+    chain_provenance = provenance_fingerprint(
+        measurement_config(config.to_dict()), extra={"server": server_name}
+    )
+    sidecar_path = store.telemetry_path(job.job_id)
+    sidecar_path.parent.mkdir(parents=True, exist_ok=True)
+    anomalies_path = store.anomaly_path(job.job_id)
+    anomalies_path.unlink(missing_ok=True)
+    bound_port = port
+    iterations: list[IterationResult] = []
+    with sidecar_path.open("w") as sidecar:
+        for iteration in range(config.iterations):
+            seed = config.iteration_seed(server_name, iteration)
+            world_dir = None
+            if config.world_dir is not None:
+                iteration_dir = (
+                    Path(config.world_dir)
+                    / server_name
+                    / f"iter{iteration:03d}"
+                )
+                if iteration_dir.exists():
+                    shutil.rmtree(iteration_dir)
+                world_dir = str(iteration_dir)
+            throttled_before = machine.throttled_executions
+            it, bound_port = await _serve_iteration(
+                config,
+                server_name,
+                seed=seed,
+                machine=machine,
+                clock=clock,
+                iteration=iteration,
+                world_dir=world_dir,
+                host=host,
+                port=bound_port,
+                realtime=realtime,
+                on_listen=on_listen,
+            )
+            it.throttled_ticks = (
+                machine.throttled_executions - throttled_before
+            )
+            it.provenance = dict(chain_provenance)
+            iterations.append(it)
+            sidecar.write(telemetry_line(job, it) + "\n")
+            sidecar.flush()
+            lines = anomaly_lines(job, it)
+            if lines:
+                with anomalies_path.open("a") as recorder:
+                    recorder.write("\n".join(lines) + "\n")
+            clock.advance(s_to_us(config.inter_iteration_gap_s))
+    return iterations
+
+
+async def _serve_iteration(
+    config,
+    server_name: str,
+    seed: int,
+    machine,
+    clock: SimClock,
+    iteration: int,
+    world_dir: str | None,
+    host: str,
+    port: int | None,
+    realtime: bool,
+    on_listen,
+) -> tuple[IterationResult, int]:
+    """The wire twin of ``run_iteration``: identical server construction
+    and result collection, with the swarm replaced by real sockets."""
+    workload_kwargs = {}
+    if config.world.lower() == "players":
+        workload_kwargs["n_bots"] = config.number_of_bots
+        workload_kwargs["behavior"] = config.behavior
+    workload = get_workload(
+        config.world, scale=config.scale, **workload_kwargs
+    )
+    world_seed = (
+        config.seed if config.world_cache_dir is not None else None
+    )
+    world = workload.create_world(seed if world_seed is None else world_seed)
+    server = MLGServer(
+        server_name,
+        machine,
+        world=world,
+        clock=clock,
+        seed=seed,
+        retain_raw=config.retain_raw,
+        world_dir=world_dir,
+        world_cache_dir=config.world_cache_dir,
+        autosave_interval_s=config.autosave_interval_s,
+        autosave_flush_every=config.autosave_flush_every,
+        max_loaded_chunks=config.max_loaded_chunks,
+        trace=config.trace,
+        trace_sample_every=config.trace_sample_every,
+        slow_tick_factor=config.slow_tick_factor,
+        transport=config.transport,
+        wire_port=config.wire_port,
+        wire_batch_flush=config.wire_batch_flush,
+    )
+    workload.install(server, _ExternalFleet())
+    initial_world_hash = None
+    if server.lifecycle is not None:
+        from repro.persistence.store import world_hash
+
+        initial_world_hash = f"{world_hash(world):08x}"
+
+    externalizer = MetricExternalizer(server)
+    system = SystemMetricsCollector(server)
+
+    server.start()
+    wire = WireServer(
+        server,
+        host=host,
+        port=port,
+        realtime=realtime,
+        on_tick=system.maybe_sample,
+    )
+    await wire.start()
+    print(
+        f"serving {server_name} iteration {iteration} "
+        f"on {wire.host}:{wire.port}",
+        flush=True,
+    )
+    if on_listen is not None:
+        on_listen(wire.port)
+    try:
+        await wire.run(config.duration_s)
+    finally:
+        server.running = False
+        await wire.close()
+
+    stats = server.net.stats
+    n_share, b_share = stats.entity_share()
+    telemetry = {
+        "tick": server.telemetry.snapshot(include_tails=True),
+        "system": system.snapshot(),
+        "response_ms": server.telemetry.response_ms.snapshot(
+            include_tail=False
+        ),
+        "wire": wire_metrics_snapshot(server),
+    }
+    if server.lifecycle is not None:
+        telemetry["world"] = {
+            "initial_hash": initial_world_hash,
+            **server.lifecycle.stats(),
+        }
+    if server.tracer.enabled:
+        telemetry["trace"] = server.tracer.snapshot()
+    result = IterationResult(
+        server=server_name,
+        workload=config.world,
+        environment=config.environment,
+        iteration=iteration,
+        seed=seed,
+        duration_s=config.duration_s,
+        tick_durations_ms=(
+            externalizer.tick_durations_ms() if config.retain_raw else []
+        ),
+        response_times_ms=list(wire.response_samples),
+        tick_distribution=externalizer.tick_distribution().shares,
+        packet_counts=dict(stats.counts),
+        packet_bytes=dict(stats.bytes_),
+        entity_message_share=n_share,
+        entity_byte_share=b_share,
+        system_summary=system.summary(),
+        crashed=server.crashed,
+        crash_reason=server.crash_reason,
+        throttled_ticks=machine.throttled_executions,
+        final_credits_s=machine.credits_s,
+        scale=config.scale,
+        n_bots=config.number_of_bots,
+        behavior=config.behavior,
+        telemetry=telemetry,
+    )
+    return result, wire.port

@@ -1,0 +1,343 @@
+"""The asyncio TCP front end: one ``MLGServer`` behind real sockets.
+
+The simulation stays SimClock-driven and bit-deterministic; this layer
+paces its ticks against wall time (one tick per ``TICK_BUDGET_US`` of
+real time unless ``realtime=False``), accepts client connections, feeds
+their actions into :class:`~repro.mlg.netqueue.NetworkQueues` through the
+normal ``submit_action`` path, and materializes the tick's outbound
+traffic as real frames:
+
+- materialized deliveries (chat echoes) become ``DELIVERY`` frames;
+- the tick's *counted* packets (``PacketStats`` delta) become ``STATE``
+  frames padded to the Table 8 model sizes — or one batched
+  ``ENTITY_BATCH`` frame per client for entity moves when
+  ``wire_batch_flush`` is on;
+- every flush ends with a ``TICK`` clock-sync frame.
+
+Keepalive/timeout semantics are the simulation's own: the sim counts
+keepalives and ages clients out after ``CLIENT_TIMEOUT_US``; this layer
+just closes the socket of any endpoint the sim disconnected, and clients
+independently age out the server on their own wall clock.
+
+Wire measurements published to the server's telemetry bus (registered in
+``SIDECAR_METRICS``; MSL005): ``wire_bytes_in``/``wire_bytes_out`` per
+tick, ``wire_flush_us`` (wall time spent encoding + writing a flush),
+and ``wire_connects`` (one sample per accepted connection — the
+connect-storm counter).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.mlg import wirecodec as wc
+from repro.mlg.constants import TICK_BUDGET_US
+from repro.mlg.protocol import PacketCategory
+from repro.simtime import s_to_us
+
+__all__ = [
+    "WIRE_BYTES_IN",
+    "WIRE_BYTES_OUT",
+    "WIRE_CONNECTS",
+    "WIRE_FLUSH_US",
+    "WireServer",
+    "wire_metrics_snapshot",
+]
+
+#: Bus metric names (the string constants MSL005 resolves).
+WIRE_BYTES_IN = "wire_bytes_in"
+WIRE_BYTES_OUT = "wire_bytes_out"
+WIRE_FLUSH_US = "wire_flush_us"
+WIRE_CONNECTS = "wire_connects"
+
+_WIRE_METRICS = (WIRE_BYTES_IN, WIRE_BYTES_OUT, WIRE_FLUSH_US, WIRE_CONNECTS)
+
+_READ_CHUNK = 65536
+
+
+def _synth_payload(category: str, index: int) -> tuple:
+    """Deterministic schema-valid payload for a counted packet."""
+    if category == PacketCategory.ENTITY_SPAWN:
+        return (index, index % 7, 0.0, 64.0, 0.0)
+    if category == PacketCategory.ENTITY_MOVE:
+        return (index, 1, 0, -1)
+    if category == PacketCategory.ENTITY_VELOCITY:
+        return (index, 2, 0, -2)
+    if category == PacketCategory.ENTITY_DESTROY:
+        return (index,)
+    if category == PacketCategory.BLOCK_CHANGE:
+        return (index, 64, -index, 1)
+    if category == PacketCategory.CHUNK_DATA:
+        return (index, -index)
+    if category == PacketCategory.CHUNK_SECTION:
+        return (index, -index, index % 16)
+    if category == PacketCategory.LIGHT_UPDATE:
+        return (index, -index)
+    if category == PacketCategory.SOUND_EFFECT:
+        return (index % 256, index, 64, -index)
+    if category == PacketCategory.BLOCK_ENTITY_DATA:
+        return (index, 64, -index)
+    if category == PacketCategory.CHAT:
+        return (0, index)
+    if category == PacketCategory.KEEPALIVE:
+        return (index,)
+    if category == PacketCategory.TIME_UPDATE:
+        return (index * 20, index * 20 % 24_000)
+    if category == PacketCategory.PLAYER_INFO:
+        return (index, 1)
+    raise ValueError(f"unknown packet category {category!r}")
+
+
+def wire_metrics_snapshot(server) -> dict:
+    """Sidecar-shaped snapshots of the wire metrics (totals included)."""
+    out: dict = {}
+    bus = server.telemetry.bus
+    for name in _WIRE_METRICS:
+        acc = bus.metric(name)
+        snap = acc.snapshot(include_tail=False)
+        snap["total"] = acc.total
+        out[name] = snap
+    return out
+
+
+class WireServer:
+    """Serve one ``MLGServer`` over TCP for the span of an iteration."""
+
+    def __init__(
+        self,
+        server,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        batch_flush: bool | None = None,
+        realtime: bool = True,
+        on_tick=None,
+    ) -> None:
+        self.server = server
+        self.host = host
+        self.port = server.wire_port if port is None else port
+        self.batch_flush = (
+            server.wire_batch_flush if batch_flush is None else batch_flush
+        )
+        self.realtime = realtime
+        #: Called after every ``server.tick()`` (the slot the serve loop
+        #: uses for ``SystemMetricsCollector.maybe_sample``).
+        self.on_tick = on_tick
+        #: Raw response samples streamed back by clients (client-side
+        #: measurement, folded into ``telemetry.response_ms`` on arrival).
+        self.response_samples: list[float] = []
+        self._asyncio_server: asyncio.base_events.Server | None = None
+        self._writers: dict[int, asyncio.StreamWriter] = {}
+        self._reader_tasks: set[asyncio.Task] = set()
+        self._prev_counts: dict[str, int] = {}
+        self._bytes_in_tick = 0
+        self._tick_index = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    async def start(self) -> None:
+        self._asyncio_server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+        # Port 0 asks the OS for an ephemeral port; record what it chose.
+        self.port = self._asyncio_server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+        for task in list(self._reader_tasks):
+            task.cancel()
+        for writer in list(self._writers.values()):
+            writer.close()
+        self._writers.clear()
+
+    # -- per-connection plumbing --------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._reader_tasks.add(task)
+        client_id: int | None = None
+        decoder = wc.FrameDecoder()
+        try:
+            pending: list = []
+            hello: wc.WireHello | None = None
+            while hello is None:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    return
+                self._bytes_in_tick += len(chunk)
+                for msg in decoder.feed(chunk):
+                    if hello is None and isinstance(msg, wc.WireHello):
+                        hello = msg
+                    else:
+                        pending.append(msg)
+            view_kwargs = (
+                {}
+                if hello.view_distance is None
+                else {"view_distance": hello.view_distance}
+            )
+            conn = self.server.connect_client(
+                hello.name,
+                hello.spawn_x,
+                hello.spawn_z,
+                hello.latency_up_us,
+                hello.latency_down_us,
+                **view_kwargs,
+            )
+            client_id = conn.client_id
+            self._writers[client_id] = writer
+            writer.write(
+                wc.encode_welcome(
+                    client_id, conn.x, conn.y, conn.z,
+                    self.server.clock.now_us,
+                )
+            )
+            await writer.drain()
+            self.server.telemetry.bus.publish(WIRE_CONNECTS, 1.0)
+            for msg in pending:
+                self._handle_message(client_id, msg)
+            while True:
+                chunk = await reader.read(_READ_CHUNK)
+                if not chunk:
+                    break
+                self._bytes_in_tick += len(chunk)
+                for msg in decoder.feed(chunk):
+                    self._handle_message(client_id, msg)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            if task is not None:
+                self._reader_tasks.discard(task)
+            if client_id is not None:
+                self.server.net.disconnect(client_id, "socket closed")
+                self._writers.pop(client_id, None)
+            writer.close()
+
+    def _handle_message(self, client_id: int, msg) -> None:
+        if isinstance(msg, wc.WireAction):
+            # A client may only speak for its own connection.
+            if msg.action.client_id == client_id:
+                self.server.submit_action(msg.action, msg.sent_at_us)
+        elif isinstance(msg, wc.WireResponseSample):
+            self.server.telemetry.observe_response(msg.response_ms)
+            if self.server.retain_raw:
+                self.response_samples.append(msg.response_ms)
+        elif isinstance(msg, wc.WireBye):
+            self.server.net.disconnect(client_id, msg.reason)
+
+    # -- the tick flush ------------------------------------------------------
+
+    def _build_flush(self) -> list[tuple[int, bytearray]]:
+        """Encode this tick's outbound traffic, one buffer per client."""
+        net = self.server.net
+        delta: dict[str, int] = {}
+        for category, count in net.stats.counts.items():
+            moved = count - self._prev_counts.get(category, 0)
+            if moved:
+                delta[category] = moved
+        self._prev_counts = dict(net.stats.counts)
+        targets: list[tuple[int, bytearray]] = []
+        endpoints = {}
+        for client_id in sorted(self._writers):
+            endpoint = net.client(client_id)
+            if endpoint is None or endpoint.disconnected:
+                continue
+            endpoints[client_id] = endpoint
+            targets.append((client_id, bytearray()))
+        # 1. Materialized deliveries (chat echoes) — shared drain path.
+        for client_id, buf in targets:
+            for delivery in endpoints[client_id].drain_deliveries():
+                buf += wc.encode_delivery(
+                    delivery.category,
+                    delivery.payload,
+                    delivery.delivered_at_us,
+                )
+                delta[delivery.category] = (
+                    delta.get(delivery.category, 0) - 1
+                )
+        # 2. Counted state packets: distribute the tick's PacketStats
+        # delta across connected clients (it was recorded per client).
+        n_clients = len(targets)
+        if n_clients:
+            for category in PacketCategory.ALL:
+                remaining = delta.get(category, 0)
+                if remaining <= 0:
+                    continue
+                per, extra = divmod(remaining, n_clients)
+                for index, (client_id, buf) in enumerate(targets):
+                    count = per + (1 if index < extra else 0)
+                    if count <= 0:
+                        continue
+                    if (
+                        category == PacketCategory.ENTITY_MOVE
+                        and self.batch_flush
+                    ):
+                        buf += wc.encode_entity_batch(
+                            tuple((i, 1, 0, -1) for i in range(count))
+                        )
+                    else:
+                        for i in range(count):
+                            buf += wc.encode_state(
+                                category, _synth_payload(category, i)
+                            )
+        # 3. Clock sync.
+        now_us = self.server.clock.now_us
+        for client_id, buf in targets:
+            buf += wc.encode_tick(now_us, self._tick_index)
+        return targets
+
+    async def _flush(self) -> None:
+        flush_start = time.perf_counter()
+        targets = self._build_flush()
+        bytes_out = 0
+        drains = []
+        for client_id, buf in targets:
+            writer = self._writers.get(client_id)
+            if writer is None:
+                continue
+            writer.write(bytes(buf))
+            bytes_out += len(buf)
+            drains.append(writer.drain())
+        if drains:
+            await asyncio.gather(*drains, return_exceptions=True)
+        flush_us = (time.perf_counter() - flush_start) * 1e6
+        bus = self.server.telemetry.bus
+        bus.publish(WIRE_BYTES_OUT, float(bytes_out))
+        bus.publish(WIRE_BYTES_IN, float(self._bytes_in_tick))
+        bus.publish(WIRE_FLUSH_US, flush_us)
+        self._bytes_in_tick = 0
+        # Close the socket of anyone the sim disconnected (timeouts,
+        # byes): the client sees EOF instead of silence.
+        for client_id in list(self._writers):
+            endpoint = self.server.net.client(client_id)
+            if endpoint is not None and endpoint.disconnected:
+                self._writers.pop(client_id).close()
+
+    # -- the serve loop ------------------------------------------------------
+
+    async def run(self, duration_s: float) -> None:
+        """Tick the simulation for ``duration_s`` simulated seconds,
+        flushing the wire after every tick.  With ``realtime`` the loop
+        paces one tick per 50 ms of wall time (a fast tick sleeps the
+        remainder; an overloaded one runs back-to-back, just like a real
+        server); otherwise it only yields to the reader tasks."""
+        budget_s = TICK_BUDGET_US / 1e6
+        deadline = self.server.clock.now_us + s_to_us(duration_s)
+        while self.server.clock.now_us < deadline and self.server.running:
+            wall_start = time.perf_counter()
+            self.server.tick()
+            if self.on_tick is not None:
+                self.on_tick()
+            await self._flush()
+            self._tick_index += 1
+            if self.server.crashed:
+                break
+            if self.realtime:
+                elapsed = time.perf_counter() - wall_start
+                await asyncio.sleep(max(0.0, budget_s - elapsed))
+            else:
+                await asyncio.sleep(0)

@@ -39,6 +39,11 @@ def sidecar_row(job_dict: dict, line: dict) -> dict:
     windows = tick.get("windows") or {}
     response = telemetry.get("response_ms") or {}
     trace = telemetry.get("trace") or {}
+    wire = telemetry.get("wire") or {}
+    wire_in = wire.get("wire_bytes_in") or {}
+    wire_out = wire.get("wire_bytes_out") or {}
+    wire_flush = wire.get("wire_flush_us") or {}
+    wire_connects = wire.get("wire_connects") or {}
     row = {axis: job_dict.get(axis) for axis in AXIS_FIELDS}
     row["iteration"] = line.get("iteration", 0)
     row["seed"] = line.get("seed")
@@ -72,6 +77,12 @@ def sidecar_row(job_dict: dict, line: dict) -> dict:
             "anomaly_count": trace.get("anomaly_count"),
             "top_bucket": top_bucket,
             "top_bucket_share": top_share,
+            # Wire-served cells only; inproc sidecars have no "wire"
+            # section, so these stay None there.
+            "wire_bytes_in": wire_in.get("total"),
+            "wire_bytes_out": wire_out.get("total"),
+            "wire_flush_p99_us": wire_flush.get("p99"),
+            "wire_connects": wire_connects.get("count"),
         }
     )
     return row

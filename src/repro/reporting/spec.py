@@ -88,6 +88,10 @@ METRIC_FIELDS = {
     "slow_ticks": "slow ticks",
     "anomaly_count": "anomaly dumps",
     "top_bucket_share": "top-bucket share",
+    "wire_bytes_in": "wire bytes in",
+    "wire_bytes_out": "wire bytes out",
+    "wire_flush_p99_us": "p99 wire flush (µs)",
+    "wire_connects": "wire connects",
 }
 
 #: The sidecar metric registry: which bus-published metric each family
@@ -112,6 +116,12 @@ SIDECAR_METRICS = {
         "response_p50_ms",
         "response_p99_ms",
     ),
+    # Wire-served cells only (``repro serve``); inproc rows leave the
+    # columns empty.
+    "wire_bytes_in": ("wire_bytes_in",),
+    "wire_bytes_out": ("wire_bytes_out",),
+    "wire_flush_us": ("wire_flush_p99_us",),
+    "wire_connects": ("wire_connects",),
 }
 
 #: Supported pivot aggregates.

@@ -103,6 +103,12 @@ _MEASUREMENT_FIELDS = (
     "trace",
     "trace_sample_every",
     "slow_tick_factor",
+    # transport: a wire-served run measures real socket/kernel effects
+    # (and the port/batching shape the traffic), so inproc and tcp
+    # campaigns must never share a fingerprint.
+    "transport",
+    "wire_port",
+    "wire_batch_flush",
     # reproducibility
     "seed",
     "inter_iteration_gap_s",

@@ -1,0 +1,12 @@
+"""Known-bad fixture for MSL007: every emulation import pattern that
+reaches past the transport boundary into server internals."""
+
+import repro.mlg.server
+from repro.mlg import netqueue
+from repro.mlg.server import MLGServer
+from repro.mlg.world import World
+
+
+def reach_in(server: MLGServer, world: World):
+    queue = netqueue.NetworkQueues(server.clock)
+    return repro.mlg.server, queue

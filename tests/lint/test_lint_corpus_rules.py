@@ -164,6 +164,28 @@ class TestMSL006RngDiscipline:
         assert findings_in(findings, "rng_ok.py") == []
 
 
+class TestMSL007TransportLayering:
+    def test_fires_on_every_import_pattern(self):
+        found = findings_in(
+            lint_project("badproj"), "transport_bad.py", "MSL007"
+        )
+        messages = "\n".join(f.message for f in found)
+        assert "'repro.mlg.server'" in messages
+        assert "'repro.mlg.netqueue'" in messages
+        assert "'repro.mlg.world'" in messages
+        assert len(found) == 4  # import, from-mlg, and 2 from-submodule
+
+    def test_quiet_on_boundary_imports_and_pragma(self):
+        findings = lint_project("badproj")
+        assert findings_in(findings, "transport_ok.py") == []
+
+    def test_scoped_to_emulation(self):
+        # mlg-internal files import each other freely; MSL007 polices
+        # only src/repro/emulation/.
+        findings = lint_project("badproj")
+        assert findings_in(findings, "ops_ok.py", "MSL007") == []
+
+
 class TestPartialScan:
     def test_single_file_scan_skips_registry_finalizers(self):
         # Linting one file must not fire "never published"/"missing

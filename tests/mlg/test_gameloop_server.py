@@ -127,7 +127,7 @@ class TestActionRoundtrip:
         server.tick()  # drained, processed, flushed at tick end
         endpoint = server.net.client(conn.client_id)
         chats = [
-            d for d in endpoint.deliveries
+            d for d in endpoint.drain_deliveries()
             if d.category == PacketCategory.CHAT
         ]
         assert len(chats) == 1
@@ -142,7 +142,7 @@ class TestActionRoundtrip:
         server.submit_action(action, sent_at)
         endpoint = server.net.client(conn.client_id)
         chats = [
-            d for d in endpoint.deliveries
+            d for d in endpoint.drain_deliveries()
             if d.category == PacketCategory.CHAT
         ]
         assert len(chats) == 1  # delivered without any tick running

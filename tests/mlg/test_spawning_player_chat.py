@@ -220,9 +220,9 @@ class TestChat:
         assert chat.process_tick(report) == 1
         flushed = chat.flush_processed(50_000, report)
         assert flushed == 1
-        endpoint = net.client(1)
-        assert len(endpoint.deliveries) == 1
-        delivery = endpoint.deliveries[0]
+        deliveries = net.client(1).drain_deliveries()
+        assert len(deliveries) == 1
+        delivery = deliveries[0]
         assert delivery.payload == (1, 7)
         assert delivery.delivered_at_us == 50_000 + 2000
 
@@ -235,10 +235,10 @@ class TestChat:
         report = WorkReport()
         chat.submit(1, probe_id=3, arrival_us=10_000, report=report)
         assert chat.pending_count() == 0
-        endpoint = net.client(1)
-        assert len(endpoint.deliveries) == 1
+        deliveries = net.client(1).drain_deliveries()
+        assert len(deliveries) == 1
         assert (
-            endpoint.deliveries[0].delivered_at_us
+            deliveries[0].delivered_at_us
             == 10_000 + ASYNC_CHAT_LATENCY_US + 2000
         )
 
@@ -252,4 +252,4 @@ class TestChat:
         chat.process_tick(report)
         chat.flush_processed(50_000, report)
         for cid in (1, 2, 3):
-            assert len(net.client(cid).deliveries) == 1
+            assert len(net.client(cid).drain_deliveries()) == 1

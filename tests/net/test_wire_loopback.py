@@ -1,0 +1,138 @@
+"""End-to-end loopback: ``repro serve`` + ``repro clients`` over real
+sockets, producing the standard campaign artifacts.
+
+One short tcp cell is served on an ephemeral loopback port while a
+3-bot client fleet runs against it from another thread.  The on-disk
+results must be the normal campaign layout — manifest, streamed
+telemetry sidecar, completed job shard — with real (nonzero) ``wire_*``
+measurements and client-measured response times folded in.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.campaign.store import JobStore
+from repro.net import run_clients, serve_cell
+from repro.reporting.dataset import sidecar_row
+
+N_BOTS = 3
+
+
+@pytest.fixture(scope="module")
+def loopback_run(tmp_path_factory):
+    """Serve one 1-second tcp cell and run 3 wire clients against it."""
+    root = tmp_path_factory.mktemp("wire")
+    out_dir = root / "campaign-out"
+    spec_path = root / "wire.yaml"
+    spec_path.write_text(
+        json.dumps(
+            {
+                "name": "wire-loopback",
+                "servers": ["vanilla"],
+                "workloads": ["players"],
+                "environments": ["das5"],
+                "bot_counts": [N_BOTS],
+                "iterations": 1,
+                "duration_s": 1.0,
+                "seed": 7,
+                "transport": "tcp",
+                "output_dir": str(out_dir),
+            }
+        )
+    )
+    listening = threading.Event()
+    box = {}
+
+    def on_listen(port):
+        box["port"] = port
+        listening.set()
+
+    def serve():
+        try:
+            box["serve"] = serve_cell(spec_path, cell=0, on_listen=on_listen)
+        except BaseException as exc:  # surface into the test thread
+            box["error"] = exc
+            listening.set()
+
+    thread = threading.Thread(target=serve)
+    thread.start()
+    assert listening.wait(30), "serve_cell never bound its socket"
+    if "error" in box:
+        raise box["error"]
+    box["clients"] = run_clients(
+        "127.0.0.1", box["port"], N_BOTS, stagger_s=0.05, seed=7
+    )
+    thread.join(60)
+    assert not thread.is_alive(), "serve_cell did not finish"
+    if "error" in box:
+        raise box["error"]
+    box["store"] = JobStore(out_dir)
+    return box
+
+
+class TestLoopbackCampaign:
+    def test_clients_connected_and_sampled(self, loopback_run):
+        clients = loopback_run["clients"]
+        assert clients["connected"] == N_BOTS
+        assert clients["ticks_seen"] > 0
+        assert clients["samples"] >= 1
+        assert clients["response_p50_ms"] > 0
+
+    def test_serve_summary_and_shard(self, loopback_run):
+        summary = loopback_run["serve"]
+        assert summary["iterations"] == 1
+        assert not summary["crashed"]
+        store = loopback_run["store"]
+        iterations = store.load_job(summary["job_id"])
+        assert iterations is not None and len(iterations) == 1
+        it = iterations[0]
+        # Client-side samples streamed back over the wire and were
+        # folded into the server's measurement record.
+        assert it.response_times_ms
+        assert it.telemetry["response_ms"]["count"] == len(
+            it.response_times_ms
+        )
+        assert it.provenance.get("fingerprint")
+
+    def test_manifest_is_standard(self, loopback_run):
+        manifest = loopback_run["store"].read_manifest()
+        assert manifest["name"] == "wire-loopback"
+        assert manifest["spec"]["transport"] == "tcp"
+        assert len(manifest["jobs"]) == 1
+        assert manifest["provenance"]["fingerprint"]
+        assert "hygiene" in manifest["provenance"]
+
+    def test_sidecar_has_real_wire_metrics(self, loopback_run):
+        store = loopback_run["store"]
+        job_id = loopback_run["serve"]["job_id"]
+        lines = store.read_job_telemetry(job_id)
+        assert len(lines) == 1
+        wire = lines[0]["telemetry"]["wire"]
+        assert wire["wire_bytes_out"]["total"] > 0
+        assert wire["wire_bytes_in"]["total"] > 0
+        assert wire["wire_connects"]["count"] == N_BOTS
+        assert wire["wire_flush_us"]["count"] > 0
+
+    def test_report_rows_carry_wire_columns(self, loopback_run):
+        store = loopback_run["store"]
+        manifest = store.read_manifest()
+        job_dict = manifest["jobs"][0]
+        line = store.read_job_telemetry(job_dict["job_id"])[0]
+        row = sidecar_row(job_dict, line)
+        assert row["wire_bytes_out"] > 0
+        assert row["wire_bytes_in"] > 0
+        assert row["wire_connects"] == N_BOTS
+        assert row["wire_flush_p99_us"] > 0
+        # Inproc sidecars have no wire section: columns stay None.
+        inproc_line = json.loads(json.dumps(line))
+        del inproc_line["telemetry"]["wire"]
+        inproc_row = sidecar_row(job_dict, inproc_line)
+        assert inproc_row["wire_bytes_out"] is None
+        assert inproc_row["wire_connects"] is None
+
+    def test_shard_refuses_silent_clobber(self, loopback_run):
+        spec_path = loopback_run["store"].root.parent / "wire.yaml"
+        with pytest.raises(FileExistsError):
+            serve_cell(spec_path, cell=0)
