@@ -5,6 +5,9 @@ Usage (also via the ``repro`` console script)::
     python -m repro run campaign.yaml --jobs 4
     python -m repro resume campaign.yaml --jobs 4
     python -m repro status meterstick-out/
+    python -m repro status meterstick-out/ --watch
+    python -m repro top meterstick-out/
+    python -m repro top http://127.0.0.1:9178/metrics
     python -m repro export meterstick-out/ --out analysis/
     python -m repro report meterstick-out/
     python -m repro report campaign.yaml --update-output
@@ -69,6 +72,18 @@ def build_parser() -> argparse.ArgumentParser:
     status = sub.add_parser("status", help="show per-job completion")
     status.add_argument(
         "target", help="campaign spec file or campaign output directory"
+    )
+    status.add_argument(
+        "--watch",
+        action="store_true",
+        help="poll and redraw until interrupted; holds per-sidecar byte "
+        "offsets so each refresh reads only new telemetry lines",
+    )
+    status.add_argument(
+        "--interval-s",
+        type=float,
+        default=2.0,
+        help="seconds between --watch refreshes (default: 2)",
     )
 
     export = sub.add_parser(
@@ -179,6 +194,37 @@ def build_parser() -> argparse.ArgumentParser:
         "server closes the iteration)",
     )
     clients.add_argument("--seed", type=int, default=0)
+    clients.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="collect client-side spans (wait/dispatch/step/drain per "
+        "tick) into this JSONL file; write it as "
+        "<output_dir>/telemetry/<name>.clientspans.jsonl and 'repro "
+        "trace export' merges it into the campaign timeline",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live plain-ANSI dashboard over a metrics endpoint URL or "
+        "a campaign output directory",
+    )
+    top.add_argument(
+        "target",
+        help="obs endpoint URL (http://host:port/metrics) or a campaign "
+        "output directory",
+    )
+    top.add_argument(
+        "--interval-s",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default: 2)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="render one frame and exit (no ANSI clear; CI-friendly)",
+    )
 
     world = sub.add_parser(
         "world", help="prepare and inspect on-disk world directories"
@@ -326,11 +372,26 @@ def _telemetry_columns(entry: dict, iterations: int) -> list[str]:
     ]
 
 
-def _cmd_status(args: argparse.Namespace) -> int:
-    spec = _load_spec(args.target)
-    store = JobStore(spec.output_dir)
-    status = store.status()
-    # Per-cell iteration counts: `iterations` is overridable per cell.
+_STATUS_HEADERS = (
+    "job",
+    "server",
+    "workload",
+    "environment",
+    "scale",
+    "bots",
+    "behavior",
+    "status",
+    "iters",
+    "p50ms",
+    "p99ms",
+    "cov",
+    "phase",
+    "top bucket",
+)
+
+
+def _status_frame(spec: CampaignSpec, store: JobStore, status: dict) -> str:
+    """The rendered ``status`` output for one per-job entry map."""
     iterations_by_id = {
         job.job_id: spec.cell_config(job.cell).iterations
         for job in store.manifest_jobs()
@@ -347,31 +408,90 @@ def _cmd_status(args: argparse.Namespace) -> int:
         ]
         for entry in status["jobs"]
     ]
-    headers = (
-        "job",
-        "server",
-        "workload",
-        "environment",
-        "scale",
-        "bots",
-        "behavior",
-        "status",
-        "iters",
-        "p50ms",
-        "p99ms",
-        "cov",
-        "phase",
-        "top bucket",
-    )
-    print(f"Campaign {spec.name!r} in {store.root}")
+    lines = [f"Campaign {spec.name!r} in {store.root}"]
     provenance_line = _provenance_line(store.read_manifest())
     if provenance_line:
-        print(provenance_line)
-    print(format_table(headers, rows))
+        lines.append(provenance_line)
+    lines.append(format_table(_STATUS_HEADERS, rows))
     parts = [f"{status['completed']}/{status['total']} jobs complete"]
     if status.get("running"):
         parts.append(f"{status['running']} running")
-    print(", ".join(parts))
+    lines.append(", ".join(parts))
+    return "\n".join(lines)
+
+
+def _watch_status(
+    spec: CampaignSpec,
+    store: JobStore,
+    interval_s: float,
+    max_refreshes: int | None = None,
+) -> int:
+    """``status --watch``: redraw until interrupted.
+
+    One :class:`~repro.campaign.store.SidecarFollower` lives across
+    refreshes, remembering a byte offset per sidecar file — each poll
+    reads only the lines appended since the previous one (O(new lines)),
+    where one-shot ``status`` re-tails every sidecar per invocation.
+    ``max_refreshes`` bounds the loop for tests.
+    """
+    import time
+
+    from repro.campaign.store import SidecarFollower
+
+    follower = SidecarFollower(store)
+    refreshes = 0
+    try:
+        while True:
+            follower.poll()
+            jobs = sorted(store.manifest_jobs(), key=lambda j: j.index)
+            done = store.completed_ids()
+            entries = []
+            for job in jobs:
+                latest = follower.latest.get(job.job_id)
+                is_done = job.job_id in done
+                entries.append(
+                    {
+                        "job_id": job.job_id,
+                        "cell": job.cell.key(),
+                        "state": (
+                            "done"
+                            if is_done
+                            else ("running" if latest else "pending")
+                        ),
+                        "iterations_done": (
+                            int(latest.get("iteration", -1)) + 1
+                            if latest
+                            else 0
+                        ),
+                        "telemetry": latest,
+                    }
+                )
+            status = {
+                "total": len(jobs),
+                "completed": len(done & {job.job_id for job in jobs}),
+                "running": sum(
+                    1 for entry in entries if entry["state"] == "running"
+                ),
+                "jobs": entries,
+            }
+            print(
+                "\x1b[2J\x1b[H" + _status_frame(spec, store, status),
+                flush=True,
+            )
+            refreshes += 1
+            if max_refreshes is not None and refreshes >= max_refreshes:
+                return 0
+            time.sleep(interval_s)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    spec = _load_spec(args.target)
+    store = JobStore(spec.output_dir)
+    if args.watch:
+        return _watch_status(spec, store, args.interval_s)
+    print(_status_frame(spec, store, store.status()))
     return 0
 
 
@@ -541,6 +661,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             "trace: true in the spec",
             file=sys.stderr,
         )
+    if other.get("client_processes"):
+        print(
+            f"Merged {other['client_span_lines']} client span(s) across "
+            f"{other['client_processes']} client process(es)"
+        )
+    elif getattr(spec, "transport", "inproc") == "tcp":
+        # A wire campaign without client streams would just render a
+        # server-only timeline; say why the client side is missing
+        # instead of leaving an unexplained empty half.
+        print(
+            "note: no client spans found — this is a wire campaign, so "
+            "the timeline shows only the server side; re-run 'repro "
+            "clients' with --trace-out "
+            f"{store.telemetry_dir / 'clients.clientspans.jsonl'} to add "
+            "per-client RTT tracks",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -574,9 +711,18 @@ def _cmd_clients(args: argparse.Namespace) -> int:
         stagger_s=args.stagger_s,
         duration_s=args.duration_s,
         seed=args.seed,
+        trace_out=args.trace_out,
     )
     print(json.dumps(summary, indent=2, sort_keys=True))
     return 0 if summary["connected"] == args.n else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    # Lazy import: the dashboard is part of the obs plane, loaded only
+    # when asked for.
+    from repro.obs import run_top
+
+    return run_top(args.target, interval_s=args.interval_s, once=args.once)
 
 
 def _cmd_world(args: argparse.Namespace) -> int:
@@ -655,6 +801,8 @@ def main(argv: list[str] | None = None) -> int:
             return _cmd_serve(args)
         if args.command == "clients":
             return _cmd_clients(args)
+        if args.command == "top":
+            return _cmd_top(args)
         if args.command == "world":
             return _cmd_world(args)
         if args.command == "lint":

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import threading
 import time
 from collections.abc import Callable
 from pathlib import Path
@@ -22,7 +23,7 @@ from repro.core.experiment import run_server_chain
 from repro.core.results import ExperimentResult, IterationResult
 from repro.campaign.planner import Job, JobPlanner
 from repro.campaign.spec import CampaignSpec
-from repro.campaign.store import JobStore
+from repro.campaign.store import JobStore, SidecarFollower
 from repro.tracing.provenance import (
     measurement_config,
     provenance_fingerprint,
@@ -188,6 +189,71 @@ def execute_job(payload: dict) -> tuple[dict, list[dict], dict]:
     return payload["job"], iteration_dicts, phases
 
 
+class _ObsPlane:
+    """The campaign's live metrics endpoint, fed by the sidecar streams.
+
+    Workers already push one bounded delta per finished iteration — the
+    sidecar JSONL line they stream for ``repro status`` — so the parent
+    needs no second channel: a follower thread tails every sidecar
+    (per-file byte offsets, O(new lines) per sweep), folds each line
+    into one :class:`~repro.obs.aggregate.CampaignObsAggregate`, and a
+    single HTTP endpoint serves the whole campaign.  The same path
+    covers the serial and ``multiprocessing`` executors, because both
+    stream the same sidecars.
+    """
+
+    #: Seconds between sidecar sweeps — latency of the dashboard, not of
+    #: the measurement (sidecars land regardless).
+    _POLL_S = 0.5
+
+    def __init__(self, spec, store, n_jobs: int, provenance: dict | None):
+        from repro.obs import CampaignObsAggregate, ObsHttpServer
+
+        meta: dict = {"campaign": spec.name}
+        hygiene = (provenance or {}).get("hygiene")
+        if hygiene:
+            meta["hygiene"] = {
+                "status": hygiene.get("status"),
+                "warn_count": hygiene.get("warn_count", 0),
+            }
+        self._follower = SidecarFollower(store)
+        self._aggregate = CampaignObsAggregate(n_jobs=n_jobs, meta=meta)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._follow, name="obs-follower", daemon=True
+        )
+        self._endpoint = ObsHttpServer(
+            self._aggregate.snapshot,
+            port=spec.obs_port,
+            scrape_grace_s=spec.obs_scrape_grace,
+        )
+
+    @property
+    def url(self) -> str:
+        return self._endpoint.url
+
+    def _drain(self) -> None:
+        for line in self._follower.poll():
+            self._aggregate.fold(line)
+
+    def _follow(self) -> None:
+        while not self._stop.wait(self._POLL_S):
+            self._drain()
+
+    def start(self) -> "_ObsPlane":
+        self._endpoint.start()
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5)
+        # Final sweep: fold whatever landed after the last poll so a
+        # grace-period scrape sees the completed campaign.
+        self._drain()
+        self._endpoint.stop()
+
+
 class CampaignExecutor:
     """Plans, runs, and persists one campaign."""
 
@@ -204,6 +270,9 @@ class CampaignExecutor:
         if self.jobs < 1:
             raise ValueError(f"jobs must be >= 1: {self.jobs!r}")
         self.progress = progress
+        #: The live metrics endpoint URL, set while ``run()`` executes a
+        #: spec with ``obs: true`` (None otherwise).
+        self.obs_url: str | None = None
 
     def run(self, resume: bool = False) -> ExperimentResult:
         """Execute the campaign and return the merged result.
@@ -256,52 +325,65 @@ class CampaignExecutor:
         )
         provenance["hygiene"] = hygiene_snapshot(self.spec.system)
         self.store.write_manifest(self.spec, plan, provenance=provenance)
-        warm_start = time.perf_counter()
-        if self.spec.warm_world_cache:
-            self._ensure_world_caches(plan)
-        warm_boot_s = time.perf_counter() - warm_start
-        pending = [job for job in plan if job.job_id not in completed]
-        n_total = len(plan)
-        n_done = n_total - len(pending)
-        payloads = [
-            {
-                "spec": self.spec.to_dict(),
-                "job": job.to_dict(),
-                "telemetry_dir": str(self.store.telemetry_dir),
-            }
-            for job in pending
-        ]
-        if self.jobs > 1 and len(pending) > 1:
-            results = self._run_parallel(payloads)
-        else:
-            results = map(execute_job, payloads)
-        iterate_start = time.perf_counter()
-        job_phases: dict[str, dict] = {}
-        for job_dict, iteration_dicts, phases in results:
-            job = Job.from_dict(job_dict)
-            self.store.save_job_payload(job, iteration_dicts)
-            job_phases[job.job_id] = phases
-            n_done += 1
-            if self.progress is not None:
-                self.progress(job, n_done, n_total)
-        iterate_s = time.perf_counter() - iterate_start
-        externalize_start = time.perf_counter()
-        merged = self.store.merge(plan)
-        self.store.write_campaign_trace(
-            {
-                "phases": {
-                    "plan_s": plan_s,
-                    "warm_boot_s": warm_boot_s,
-                    "iterate_s": iterate_s,
-                    "externalize_s": time.perf_counter() - externalize_start,
-                },
-                "jobs": {
-                    job_id: job_phases[job_id]
-                    for job_id in sorted(job_phases)
-                },
-            }
-        )
-        return merged
+        obs = None
+        if self.spec.obs:
+            obs = _ObsPlane(
+                self.spec, self.store, n_jobs=len(plan), provenance=provenance
+            ).start()
+            self.obs_url = obs.url
+            print(f"obs endpoint {obs.url}", flush=True)
+        try:
+            warm_start = time.perf_counter()
+            if self.spec.warm_world_cache:
+                self._ensure_world_caches(plan)
+            warm_boot_s = time.perf_counter() - warm_start
+            pending = [job for job in plan if job.job_id not in completed]
+            n_total = len(plan)
+            n_done = n_total - len(pending)
+            payloads = [
+                {
+                    "spec": self.spec.to_dict(),
+                    "job": job.to_dict(),
+                    "telemetry_dir": str(self.store.telemetry_dir),
+                }
+                for job in pending
+            ]
+            if self.jobs > 1 and len(pending) > 1:
+                results = self._run_parallel(payloads)
+            else:
+                results = map(execute_job, payloads)
+            iterate_start = time.perf_counter()
+            job_phases: dict[str, dict] = {}
+            for job_dict, iteration_dicts, phases in results:
+                job = Job.from_dict(job_dict)
+                self.store.save_job_payload(job, iteration_dicts)
+                job_phases[job.job_id] = phases
+                n_done += 1
+                if self.progress is not None:
+                    self.progress(job, n_done, n_total)
+            iterate_s = time.perf_counter() - iterate_start
+            externalize_start = time.perf_counter()
+            merged = self.store.merge(plan)
+            self.store.write_campaign_trace(
+                {
+                    "phases": {
+                        "plan_s": plan_s,
+                        "warm_boot_s": warm_boot_s,
+                        "iterate_s": iterate_s,
+                        "externalize_s": (
+                            time.perf_counter() - externalize_start
+                        ),
+                    },
+                    "jobs": {
+                        job_id: job_phases[job_id]
+                        for job_id in sorted(job_phases)
+                    },
+                }
+            )
+            return merged
+        finally:
+            if obs is not None:
+                obs.stop()
 
     def _ensure_world_caches(self, plan: list[Job]) -> None:
         """Pre-generate each (workload, scale) world once, before any

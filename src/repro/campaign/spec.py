@@ -57,6 +57,9 @@ _OVERRIDABLE_FIELDS = frozenset(
         "transport",
         "wire_port",
         "wire_batch_flush",
+        "obs",
+        "obs_port",
+        "obs_scrape_grace",
     }
 )
 
@@ -132,6 +135,9 @@ class CampaignSpec:
     trace: bool = False
     trace_sample_every: int = 1
     slow_tick_factor: float = 3.0
+    obs: bool = False
+    obs_port: int = 0
+    obs_scrape_grace: float = 0.0
 
     # -- transport (applied to every cell; see MeterstickConfig) ----------
     transport: str = "inproc"
@@ -225,6 +231,15 @@ class CampaignSpec:
         if not 0 <= self.wire_port <= 65535:
             raise ValueError(
                 f"wire_port must be 0..65535: {self.wire_port!r}"
+            )
+        if not 0 <= self.obs_port <= 65535:
+            raise ValueError(
+                f"obs_port must be 0..65535: {self.obs_port!r}"
+            )
+        if self.obs_scrape_grace < 0:
+            raise ValueError(
+                f"obs_scrape_grace must be >= 0: "
+                f"{self.obs_scrape_grace!r}"
             )
         if self.output:
             from repro.reporting.spec import validate_output
@@ -329,6 +344,9 @@ class CampaignSpec:
             transport=self.transport,
             wire_port=self.wire_port,
             wire_batch_flush=self.wire_batch_flush,
+            obs=self.obs,
+            obs_port=self.obs_port,
+            obs_scrape_grace=self.obs_scrape_grace,
         )
         for override in self.overrides:
             where = override.get("where", {})

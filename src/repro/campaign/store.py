@@ -35,7 +35,7 @@ from repro.core.results import ExperimentResult, IterationResult
 from repro.campaign.planner import Job
 from repro.campaign.spec import CampaignSpec
 
-__all__ = ["JobStore"]
+__all__ = ["JobStore", "SidecarFollower"]
 
 MANIFEST_NAME = "manifest.json"
 SHARD_DIR = "jobs"
@@ -327,3 +327,72 @@ class JobStore:
         tmp = path.with_suffix(path.suffix + ".tmp")
         tmp.write_text(json.dumps(payload, indent=2))
         os.replace(tmp, path)
+
+
+class SidecarFollower:
+    """Incrementally follow every job's telemetry sidecar in a store.
+
+    Each :meth:`poll` reads only the bytes appended since the previous
+    poll (one remembered offset per sidecar file), so a live dashboard or
+    watch loop pays O(new lines) per tick instead of re-reading whole
+    files the way one-shot ``status`` does.  A torn trailing line (the
+    writer is mid-``write``) stays buffered until its newline arrives; a
+    sidecar that *shrank* (a crashed job re-running truncates its own
+    file) resets that file's offset and replays it from the top.
+    """
+
+    def __init__(self, store: JobStore) -> None:
+        self.store = store
+        #: sidecar path -> (byte offset consumed, buffered partial line).
+        self._state: dict[Path, tuple[int, bytes]] = {}
+        #: job_id -> the most recent parsed line seen for that job.
+        self.latest: dict[str, dict] = {}
+
+    def _paths(self) -> list[tuple[str, Path]]:
+        telemetry_dir = self.store.telemetry_dir
+        if not telemetry_dir.is_dir():
+            return []
+        return sorted(
+            (path.stem, path)
+            for path in telemetry_dir.glob("*.jsonl")
+            if not path.name.endswith(
+                (".anomalies.jsonl", ".clientspans.jsonl")
+            )
+        )
+
+    def poll(self) -> list[dict]:
+        """Parsed sidecar lines appended since the last poll, in
+        (job_id, stream) order."""
+        lines: list[dict] = []
+        for job_id, path in self._paths():
+            offset, partial = self._state.get(path, (0, b""))
+            try:
+                with path.open("rb") as sidecar:
+                    sidecar.seek(0, os.SEEK_END)
+                    size = sidecar.tell()
+                    if size < offset:
+                        # Truncated by a re-running job: replay from 0.
+                        offset, partial = 0, b""
+                    sidecar.seek(offset)
+                    block = sidecar.read()
+            except FileNotFoundError:
+                continue
+            offset += len(block)
+            block = partial + block
+            # No newline yet: rpartition leaves the whole block in the
+            # third slot — it stays buffered as the partial line.
+            complete, sep, partial = block.rpartition(b"\n")
+            self._state[path] = (offset, partial)
+            if not sep:
+                continue
+            for raw in complete.split(b"\n"):
+                raw = raw.strip()
+                if not raw:
+                    continue
+                try:
+                    line = json.loads(raw)
+                except json.JSONDecodeError:
+                    continue  # corrupt line from a killed worker
+                lines.append(line)
+                self.latest[line.get("job_id", job_id)] = line
+        return lines

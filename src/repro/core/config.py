@@ -105,6 +105,16 @@ class MeterstickConfig:
     #: A tick is an anomaly when its wall duration exceeds this multiple
     #: of the 50 ms budget.
     slow_tick_factor: float = 3.0
+    #: Serve a live pull-based metrics endpoint (Prometheus text +
+    #: JSON snapshot) from ``repro serve`` and the campaign executor.
+    #: Off by default; obs-off runs are bit-identical with the
+    #: endpoint-less path (nothing is constructed, nothing polls).
+    obs: bool = False
+    #: TCP port the metrics endpoint binds (0 = OS-assigned ephemeral).
+    obs_port: int = 0
+    #: Seconds the endpoint keeps serving after the run finishes, so an
+    #: in-flight scrape (or a final one) still lands.
+    obs_scrape_grace: float = 0.0
 
     # -- reproducibility ------------------------------------------------------
     seed: int = 0
@@ -172,6 +182,15 @@ class MeterstickConfig:
         if not 0 <= self.wire_port <= 65535:
             raise ValueError(
                 f"wire_port must be 0..65535: {self.wire_port!r}"
+            )
+        if not 0 <= self.obs_port <= 65535:
+            raise ValueError(
+                f"obs_port must be 0..65535: {self.obs_port!r}"
+            )
+        if self.obs_scrape_grace < 0:
+            raise ValueError(
+                f"obs_scrape_grace must be >= 0: "
+                f"{self.obs_scrape_grace!r}"
             )
         if self.trace_sample_every < 1:
             raise ValueError(

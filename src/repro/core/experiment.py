@@ -58,6 +58,9 @@ def run_iteration(
     transport: str = "inproc",
     wire_port: int = 0,
     wire_batch_flush: bool = True,
+    obs: bool = False,
+    obs_port: int = 0,
+    obs_scrape_grace: float = 0.0,
 ) -> IterationResult:
     """Run one iteration and return its measurements.
 
@@ -107,6 +110,9 @@ def run_iteration(
         transport=transport,
         wire_port=wire_port,
         wire_batch_flush=wire_batch_flush,
+        obs=obs,
+        obs_port=obs_port,
+        obs_scrape_grace=obs_scrape_grace,
     )
     rng = np.random.default_rng(seed ^ 0x5EED)
     swarm = BotSwarm(server, env.network, rng)
@@ -261,6 +267,9 @@ def run_server_chain(
             transport=config.transport,
             wire_port=config.wire_port,
             wire_batch_flush=config.wire_batch_flush,
+            obs=config.obs,
+            obs_port=config.obs_port,
+            obs_scrape_grace=config.obs_scrape_grace,
         )
         iteration_result.throttled_ticks = (
             machine.throttled_executions - throttled_before

@@ -1,4 +1,4 @@
-"""The project-specific checkers (MSL001–MSL006).
+"""The project-specific checkers (MSL001–MSL008).
 
 Each checker subscribes to the AST node types it cares about; the engine
 walks each tree exactly once and dispatches.  Cross-file rules also get
@@ -24,6 +24,9 @@ MSL006   rng discipline: functions taking ``rng``/``seed`` must not
 MSL007   transport layering: emulation code may import only the session
          boundary (``repro.mlg.transport``/``protocol``), never server
          internals
+MSL008   obs registration: every metric exported to the obs endpoint is
+         in ``OBS_METRICS`` (and vice versa), and every registry entry
+         names a real sidecar stream or obs section as its source
 =======  ==============================================================
 """
 
@@ -125,7 +128,13 @@ RULES = {
     "MSL005": ("error", "bus metric missing from the sidecar registry"),
     "MSL006": ("error", "rng constructed instead of threaded"),
     "MSL007": ("error", "emulation imports mlg internals past the transport boundary"),
+    "MSL008": ("error", "obs metric missing from the endpoint registry"),
 }
+
+#: MSL008: registry sources that are obs-plane sections rather than
+#: sidecar metric streams.  ``tap``/``trace`` summarise the live server;
+#: ``campaign`` entries are aggregated by the campaign parent.
+OBS_ALLOWED_SECTIONS = frozenset({"tap", "trace", "campaign"})
 
 #: MSL007: the only ``repro.mlg`` modules emulation code may touch — the
 #: session boundary itself and the pure protocol vocabulary.  Everything
@@ -713,8 +722,66 @@ class TransportLayeringChecker(Checker):
         )
 
 
+class ObsRegistrationChecker(Checker):
+    """MSL008: obs-endpoint exports match the ``OBS_METRICS`` registry."""
+
+    rule = "MSL008"
+    interests = (ast.Call,)
+
+    def __init__(self) -> None:
+        self.exported: dict[str, tuple[str, int]] = {}
+
+    def visit(self, node: ast.AST, ctx: "FileContext") -> None:
+        func = node.func  # type: ignore[union-attr]
+        if not (isinstance(func, ast.Attribute) and func.attr == "export"):
+            return
+        args = node.args  # type: ignore[union-attr]
+        if not args:
+            return
+        metric = ctx.resolve_str(args[0])
+        if metric is None:
+            return
+        self.exported.setdefault(metric, (ctx.rel_path, args[0].lineno))
+        registry = ctx.project.symbols.obs_metrics
+        if ctx.project.symbols.ref_obs_metrics and metric not in registry:
+            self.report(
+                ctx,
+                args[0],
+                f"metric {metric!r} is exported to the obs endpoint but "
+                "missing from OBS_METRICS — scrapers cannot rely on it",
+            )
+
+    def finalize(self, ctx: "ProjectContext") -> None:
+        symbols = ctx.symbols
+        if not ctx.full_scan or symbols.ref_obs_metrics is None:
+            return
+        sidecar = symbols.sidecar_metrics
+        for metric, source in sorted(symbols.obs_metrics.items()):
+            ref = symbols.obs_metric_refs.get(metric, symbols.ref_obs_metrics)
+            if metric not in self.exported:
+                self.report_at(
+                    ctx,
+                    ref.path,
+                    ref.line,
+                    f"OBS_METRICS entry {metric!r} is never exported to the "
+                    "obs endpoint — stale registry entry",
+                )
+            if (
+                sidecar
+                and source not in sidecar
+                and source not in OBS_ALLOWED_SECTIONS
+            ):
+                self.report_at(
+                    ctx,
+                    ref.path,
+                    ref.line,
+                    f"OBS_METRICS[{metric!r}] names source {source!r}, which "
+                    "is neither a SIDECAR_METRICS stream nor an obs section",
+                )
+
+
 #: Checker classes in rule order; the engine instantiates fresh ones
-#: per run (MSL005 carries cross-file state).
+#: per run (MSL005/MSL008 carry cross-file state).
 ALL_CHECKERS = (
     DeterminismHazardChecker,
     OpAccountingChecker,
@@ -723,4 +790,5 @@ ALL_CHECKERS = (
     TelemetryRegistrationChecker,
     RngDisciplineChecker,
     TransportLayeringChecker,
+    ObsRegistrationChecker,
 )

@@ -64,6 +64,7 @@ CONFIG_PATH = "src/repro/core/config.py"
 SPEC_PATH = "src/repro/campaign/spec.py"
 PROVENANCE_PATH = "src/repro/tracing/provenance.py"
 REPORTING_SPEC_PATH = "src/repro/reporting/spec.py"
+OBS_REGISTRY_PATH = "src/repro/obs/registry.py"
 
 
 def _literal(node: ast.expr, constants: dict[str, object]) -> object:
@@ -277,6 +278,13 @@ class ProjectSymbols:
     ref_sidecar_metrics: SourceRef | None = None
     metric_fields: dict[str, SourceRef] = field(default_factory=dict)
 
+    # -- obs registration (obs/registry.py) --------------------------------
+    #: Exported obs metric name -> its declared source stream/section.
+    obs_metrics: dict[str, str] = field(default_factory=dict)
+    #: Exported obs metric name -> registry entry location.
+    obs_metric_refs: dict[str, SourceRef] = field(default_factory=dict)
+    ref_obs_metrics: SourceRef | None = None
+
     @classmethod
     def load(cls, root: Path) -> "ProjectSymbols":
         symbols = cls(root=root)
@@ -288,6 +296,7 @@ class ProjectSymbols:
         symbols._load_overridable_fields()
         symbols._load_provenance()
         symbols._load_reporting_spec()
+        symbols._load_obs_registry()
         return symbols
 
     # -- parsing helpers ----------------------------------------------------
@@ -442,3 +451,35 @@ class ProjectSymbols:
                     key.value, str
                 ):
                     self.sidecar_metrics[key.value] = _str_sequence(value)
+
+    def _load_obs_registry(self) -> None:
+        """``OBS_METRICS`` entries: exported name -> declared source.
+
+        Each value is a ``(prom type, source, label, help)`` tuple; only
+        the source (what sidecar stream or section the value derives
+        from) matters to the cross-checks, so malformed values simply
+        record an empty source.
+        """
+        tree = self._parse(OBS_REGISTRY_PATH)
+        if tree is None:
+            return
+        registry = _find_assign(tree, "OBS_METRICS")
+        if registry is None or not isinstance(registry.value, ast.Dict):
+            return
+        self.ref_obs_metrics = SourceRef(OBS_REGISTRY_PATH, registry.lineno)
+        for key, value in zip(registry.value.keys, registry.value.values):
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                continue
+            source = ""
+            if isinstance(value, ast.Tuple) and len(value.elts) >= 2:
+                second = value.elts[1]
+                if isinstance(second, ast.Constant) and isinstance(
+                    second.value, str
+                ):
+                    source = second.value
+            self.obs_metrics[key.value] = source
+            self.obs_metric_refs[key.value] = SourceRef(
+                OBS_REGISTRY_PATH, key.lineno
+            )

@@ -74,6 +74,9 @@ class MLGServer:
         transport: str = "inproc",
         wire_port: int = 0,
         wire_batch_flush: bool = True,
+        obs: bool = False,
+        obs_port: int = 0,
+        obs_scrape_grace: float = 0.0,
     ) -> None:
         self.variant = (
             get_variant(variant) if isinstance(variant, str) else variant
@@ -94,6 +97,14 @@ class MLGServer:
         self.transport = transport
         self.wire_port = wire_port
         self.wire_batch_flush = wire_batch_flush
+        #: Live-observability knobs, consumed by the serving layers
+        #: (:mod:`repro.net.serve`, the campaign executor): ``obs``
+        #: stands up the pull-based metrics endpoint on ``obs_port`` and
+        #: keeps it up ``obs_scrape_grace`` seconds past the run.  The
+        #: simulation itself never branches on these either.
+        self.obs = obs
+        self.obs_port = obs_port
+        self.obs_scrape_grace = obs_scrape_grace
         #: Streaming per-tick telemetry; the game loop is its producer.
         self.telemetry = ServerTelemetry(
             TICK_BUDGET_US, window_size=telemetry_window

@@ -17,7 +17,9 @@ is abandoned, mirroring how real clients give up on a stalled server.
 from __future__ import annotations
 
 import asyncio
+import json
 import time
+from pathlib import Path
 
 import numpy as np
 
@@ -131,6 +133,7 @@ class _Connection:
         probe_interval_s: float,
         latency_us: int,
         view_distance: int | None,
+        trace: bool = False,
     ) -> None:
         self.index = index
         self.name = f"wire-bot-{index}"
@@ -145,6 +148,13 @@ class _Connection:
         self.ticks_seen = 0
         self.bot: EmulatedPlayer | None = None
         self._writer: asyncio.StreamWriter | None = None
+        #: Per-tick-cycle client spans (``trace=True`` only): each TICK
+        #: frame closes one record decomposing the client's wall time —
+        #: wait for the first byte, decode+dispatch up to the tick, the
+        #: bot step (encode + buffered send), and the post-step drain.
+        #: Stamped with the server's tick index and simulated ``now_us``
+        #: so the spans align with the server's trace timeline.
+        self.spans: list[dict] | None = [] if trace else None
 
     def send(self, frame: bytes) -> None:
         if self._writer is not None:
@@ -208,6 +218,7 @@ class _Connection:
             last_rx = time.monotonic()
             for msg in backlog:
                 self._dispatch(session, msg)
+            prev_done = time.monotonic()
             while True:
                 if stop_at_wall is not None and (
                     time.monotonic() >= stop_at_wall
@@ -225,12 +236,26 @@ class _Connection:
                     continue
                 if not chunk:
                     break  # server closed the iteration
-                last_rx = time.monotonic()
+                recv_at = time.monotonic()
+                last_rx = recv_at
+                wait_us = (recv_at - prev_done) * 1e6
                 stepped = False
                 for msg in decoder.feed(chunk):
-                    stepped = self._dispatch(session, msg) or stepped
+                    stepped = (
+                        self._dispatch(session, msg, recv_at, wait_us)
+                        or stepped
+                    )
+                    wait_us = 0.0  # only the chunk's first tick pays it
                 if stepped:
-                    await writer.drain()
+                    if self.spans:
+                        drain_start = time.monotonic()
+                        await writer.drain()
+                        self.spans[-1]["drain_us"] = round(
+                            (time.monotonic() - drain_start) * 1e6, 1
+                        )
+                    else:
+                        await writer.drain()
+                prev_done = time.monotonic()
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -239,17 +264,46 @@ class _Connection:
             writer.close()
             self._writer = None
 
-    def _dispatch(self, session: TcpSession, msg) -> bool:
+    def _dispatch(
+        self,
+        session: TcpSession,
+        msg,
+        recv_at: float | None = None,
+        wait_us: float = 0.0,
+    ) -> bool:
         """Feed one server frame into the session; True when the bot
         stepped (a TICK frame arrived)."""
         if isinstance(msg, wc.WireDelivery):
             session.on_delivery(msg)
             return False
         if isinstance(msg, wc.WireTick):
+            if self.spans is None:
+                session.on_tick(msg.now_us)
+                self.ticks_seen += 1
+                if self.bot is not None:
+                    self.bot.step(session.now_us())
+                return True
+            step_start = time.monotonic()
+            dispatch_us = (
+                (step_start - recv_at) * 1e6 if recv_at is not None else 0.0
+            )
             session.on_tick(msg.now_us)
             self.ticks_seen += 1
             if self.bot is not None:
                 self.bot.step(session.now_us())
+            self.spans.append(
+                {
+                    "client": self.index,
+                    "tick": msg.tick_index,
+                    "now_us": msg.now_us,
+                    "wait_us": round(wait_us, 1),
+                    "dispatch_us": round(dispatch_us, 1),
+                    "step_us": round(
+                        (time.monotonic() - step_start) * 1e6, 1
+                    ),
+                    "drain_us": 0.0,
+                }
+            )
             return True
         # STATE / ENTITY_BATCH frames are world traffic the bot does not
         # act on; their bytes are the point (bandwidth realism).
@@ -267,6 +321,7 @@ def run_clients(
     latency_us: int = 0,
     view_distance: int | None = None,
     seed: int = 0,
+    trace_out: str | Path | None = None,
 ) -> dict:
     """Ramp ``n`` bots against a wire server; returns a summary dict.
 
@@ -276,6 +331,13 @@ def run_clients(
     they time out, or ``duration_s`` wall seconds elapse.  Modeled
     latencies default to 0 on the wire: the real socket provides the
     delay the in-process network model simulates.
+
+    ``trace_out`` enables client-side span collection and writes one
+    JSONL line per (client, tick) decomposing the client's wall RTT
+    (wait → dispatch → step → drain), stamped with the server's tick
+    index.  Write it into a campaign's ``telemetry/`` directory with a
+    ``.clientspans.jsonl`` suffix and ``repro trace export`` merges the
+    stream into the campaign's Perfetto timeline.
     """
     connections = [
         _Connection(
@@ -287,6 +349,7 @@ def run_clients(
             probe_interval_s=probe_interval_s,
             latency_us=latency_us,
             view_distance=view_distance,
+            trace=trace_out is not None,
         )
         for i in range(n)
     ]
@@ -320,4 +383,15 @@ def run_clients(
         summary["response_p50_ms"] = float(np.percentile(arr, 50))
         summary["response_p99_ms"] = float(np.percentile(arr, 99))
         summary["response_max_ms"] = float(arr.max())
+    if trace_out is not None:
+        path = Path(trace_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        span_lines = 0
+        with path.open("w") as stream:
+            for conn in connections:
+                for span in conn.spans or []:
+                    stream.write(json.dumps(span, sort_keys=True) + "\n")
+                    span_lines += 1
+        summary["span_lines"] = span_lines
+        summary["trace_out"] = str(path)
     return summary

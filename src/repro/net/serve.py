@@ -70,6 +70,7 @@ def serve_cell(
     port: int | None = None,
     realtime: bool = True,
     on_listen=None,
+    on_obs=None,
 ) -> dict:
     """Serve one planned cell of ``spec_path`` over TCP; returns a summary.
 
@@ -79,7 +80,9 @@ def serve_cell(
     for the rest of the chain so clients can reconnect between
     iterations.  ``on_listen(port)`` fires once per iteration after the
     socket is bound — scripts and tests use it to start their client
-    fleet at the right moment.
+    fleet at the right moment.  With the spec's ``obs`` knob on, one
+    metrics endpoint serves the whole chain (``on_obs(url)`` fires once,
+    before the first iteration binds).
     """
     spec = CampaignSpec.from_file(spec_path)
     planner = JobPlanner(spec)
@@ -108,7 +111,9 @@ def serve_cell(
     store.write_manifest(spec, plan, provenance=provenance)
 
     iterations = asyncio.run(
-        _serve_chain(job, config, store, host, port, realtime, on_listen)
+        _serve_chain(
+            job, config, store, host, port, realtime, on_listen, on_obs
+        )
     )
     store.save_job(job, iterations)
     return {
@@ -120,6 +125,42 @@ def serve_cell(
     }
 
 
+def _live_obs_snapshot(job, state: dict):
+    """One scrape of the currently-running iteration's accumulators.
+
+    Builds the same sidecar-shaped telemetry mapping the executor's
+    sidecars carry, from the *live* tap/wire/tracer state — so a mid-run
+    scrape and the iteration's final sidecar line can never disagree on
+    what a metric means.  Raises until the first iteration has
+    constructed its server; the endpoint answers 503 (or the last good
+    body) for those scrapes.
+    """
+    from repro.obs import telemetry_obs_snapshot
+
+    server = state.get("server")
+    if server is None:
+        raise RuntimeError("no iteration has started yet")
+    telemetry = {
+        "tick": server.telemetry.snapshot(include_tails=False),
+        "response_ms": server.telemetry.response_ms.snapshot(
+            include_tail=False
+        ),
+        "wire": wire_metrics_snapshot(server),
+    }
+    if server.tracer.enabled:
+        telemetry["trace"] = {
+            "enabled": True,
+            "slow_ticks": server.tracer.slow_ticks,
+            "anomaly_count": len(server.tracer.anomalies),
+        }
+    meta = {
+        "cell": job.cell.key(),
+        "job_id": job.job_id,
+        "iteration": state.get("iteration"),
+    }
+    return telemetry_obs_snapshot(telemetry, meta=meta)
+
+
 async def _serve_chain(
     job,
     config,
@@ -128,9 +169,43 @@ async def _serve_chain(
     port: int | None,
     realtime: bool,
     on_listen,
+    on_obs=None,
 ) -> list[IterationResult]:
     """The wire twin of ``run_server_chain``: one persistent machine and
     clock across the chain, one sidecar line per finished iteration."""
+    obs = None
+    obs_state: dict = {"server": None, "iteration": None}
+    if config.obs:
+        from repro.obs import ObsHttpServer
+
+        obs = ObsHttpServer(
+            lambda: _live_obs_snapshot(job, obs_state),
+            host=host,
+            port=config.obs_port,
+            scrape_grace_s=config.obs_scrape_grace,
+        ).start()
+        print(f"obs endpoint {obs.url}", flush=True)
+        if on_obs is not None:
+            on_obs(obs.url)
+    try:
+        return await _serve_chain_inner(
+            job, config, store, host, port, realtime, on_listen, obs_state
+        )
+    finally:
+        if obs is not None:
+            obs.stop()
+
+
+async def _serve_chain_inner(
+    job,
+    config,
+    store: JobStore,
+    host: str,
+    port: int | None,
+    realtime: bool,
+    on_listen,
+    obs_state: dict,
+) -> list[IterationResult]:
     server_name = job.server
     env = get_environment(config.environment)
     machine = env.create_machine(seed=config.iteration_seed(server_name, -1))
@@ -172,6 +247,7 @@ async def _serve_chain(
                 port=bound_port,
                 realtime=realtime,
                 on_listen=on_listen,
+                obs_state=obs_state,
             )
             it.throttled_ticks = (
                 machine.throttled_executions - throttled_before
@@ -200,6 +276,7 @@ async def _serve_iteration(
     port: int | None,
     realtime: bool,
     on_listen,
+    obs_state: dict | None = None,
 ) -> tuple[IterationResult, int]:
     """The wire twin of ``run_iteration``: identical server construction
     and result collection, with the swarm replaced by real sockets."""
@@ -232,8 +309,16 @@ async def _serve_iteration(
         transport=config.transport,
         wire_port=config.wire_port,
         wire_batch_flush=config.wire_batch_flush,
+        obs=config.obs,
+        obs_port=config.obs_port,
+        obs_scrape_grace=config.obs_scrape_grace,
     )
     workload.install(server, _ExternalFleet())
+    if obs_state is not None:
+        # Point the chain's metrics endpoint at this iteration's live
+        # accumulators (the scrape path reads, never writes).
+        obs_state["server"] = server
+        obs_state["iteration"] = iteration
     initial_world_hash = None
     if server.lifecycle is not None:
         from repro.persistence.store import world_hash

@@ -1,0 +1,174 @@
+"""Campaign-wide obs aggregation: fold worker deltas into one snapshot.
+
+The campaign executor's workers push one bounded delta per finished
+iteration — the very sidecar-line dict they just streamed to disk —
+through a multiprocessing queue.  The parent folds them here and serves
+a single endpoint for the whole campaign.
+
+Aggregation semantics:
+
+- **Counters sum exactly** (ticks, response samples, wire bytes,
+  connects, per-phase microseconds, slow ticks, anomaly dumps) — a
+  scrape's counter is monotone and never exceeds the final sidecar sum.
+- **Gauges average, weighted by ticks** (tick quantiles, CoV, ISR,
+  overloaded fraction, response quantiles by sample count): the sidecar
+  snapshots are not mergeable at full fidelity, so campaign-level
+  quantiles are the weighted mean of the per-iteration quantiles — an
+  approximation, clearly scoped to the dashboard (reports keep using
+  the exact sidecar values).
+- ``entities_peak`` takes the max; ``entities_last`` the latest fold.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.obs.registry import ObsSnapshot, telemetry_obs_snapshot
+
+__all__ = ["CampaignObsAggregate"]
+
+#: tick-section gauge fields averaged weighted by each iteration's ticks.
+_TICK_GAUGES = ("isr", "overloaded_fraction")
+_TICK_MS_GAUGES = ("mean", "p50", "p95", "p99", "max", "cov")
+_RESPONSE_GAUGES = ("p50", "p99")
+_WIRE_TOTALS = ("wire_bytes_in", "wire_bytes_out")
+
+
+class CampaignObsAggregate:
+    """Thread-safe fold of per-iteration sidecar lines."""
+
+    def __init__(self, n_jobs: int, meta: dict | None = None) -> None:
+        self.n_jobs = n_jobs
+        self.meta = dict(meta or {})
+        self._lock = threading.Lock()
+        self._jobs_observed: set[str] = set()
+        self._iterations = 0
+        self._ticks = 0.0
+        self._tick_weighted = {k: 0.0 for k in _TICK_GAUGES}
+        self._tick_ms_weighted = {k: 0.0 for k in _TICK_MS_GAUGES}
+        self._phase_us: dict[str, float] = {}
+        self._entities_last = 0.0
+        self._entities_peak = 0.0
+        self._responses = 0.0
+        self._response_weighted = {k: 0.0 for k in _RESPONSE_GAUGES}
+        self._wire_seen = False
+        self._wire_totals = {k: 0.0 for k in _WIRE_TOTALS}
+        self._wire_connects = 0.0
+        self._wire_flush_p99_weighted = 0.0
+        self._trace_seen = False
+        self._slow_ticks = 0.0
+        self._anomalies = 0.0
+
+    def fold(self, line: dict) -> None:
+        """Fold one sidecar-line dict (one finished iteration)."""
+        telemetry = line.get("telemetry") or {}
+        tick = telemetry.get("tick") or {}
+        tick_ms = tick.get("tick_ms") or {}
+        ticks = float(tick.get("ticks", 0))
+        with self._lock:
+            job_id = line.get("job_id")
+            if job_id:
+                self._jobs_observed.add(job_id)
+            self._iterations += 1
+            self._ticks += ticks
+            for key in _TICK_GAUGES:
+                self._tick_weighted[key] += ticks * float(tick.get(key, 0.0))
+            for key in _TICK_MS_GAUGES:
+                self._tick_ms_weighted[key] += ticks * float(
+                    tick_ms.get(key, 0.0)
+                )
+            for bucket, us in (tick.get("breakdown_us") or {}).items():
+                self._phase_us[bucket] = self._phase_us.get(bucket, 0.0) + us
+            self._entities_last = float(tick.get("entities_last", 0))
+            self._entities_peak = max(
+                self._entities_peak, float(tick.get("entities_peak", 0))
+            )
+            response = telemetry.get("response_ms") or {}
+            samples = float(response.get("count", 0))
+            self._responses += samples
+            for key in _RESPONSE_GAUGES:
+                self._response_weighted[key] += samples * float(
+                    response.get(key, 0.0)
+                )
+            wire = telemetry.get("wire")
+            if wire:
+                self._wire_seen = True
+                for key in _WIRE_TOTALS:
+                    self._wire_totals[key] += float(
+                        (wire.get(key) or {}).get("total", 0.0)
+                    )
+                self._wire_connects += float(
+                    (wire.get("wire_connects") or {}).get("count", 0)
+                )
+                flushes = float(
+                    (wire.get("wire_flush_us") or {}).get("count", 0)
+                )
+                self._wire_flush_p99_weighted += flushes * float(
+                    (wire.get("wire_flush_us") or {}).get("p99", 0.0)
+                )
+            trace = telemetry.get("trace")
+            if trace and trace.get("enabled"):
+                self._trace_seen = True
+                self._slow_ticks += float(trace.get("slow_ticks", 0))
+                anomalies = trace.get("anomaly_count")
+                if anomalies is None:
+                    anomalies = len(trace.get("anomalies") or [])
+                self._anomalies += float(anomalies)
+
+    def _weighted(self, total: float, weight: float) -> float:
+        return total / weight if weight else 0.0
+
+    def snapshot(self) -> ObsSnapshot:
+        """One campaign-wide snapshot in the sidecar telemetry shape."""
+        with self._lock:
+            telemetry: dict = {
+                "tick": {
+                    "ticks": self._ticks,
+                    "entities_last": self._entities_last,
+                    "entities_peak": self._entities_peak,
+                    "breakdown_us": dict(sorted(self._phase_us.items())),
+                    **{
+                        key: self._weighted(value, self._ticks)
+                        for key, value in self._tick_weighted.items()
+                    },
+                    "tick_ms": {
+                        key: self._weighted(value, self._ticks)
+                        for key, value in self._tick_ms_weighted.items()
+                    },
+                },
+                "response_ms": {
+                    "count": self._responses,
+                    **{
+                        key: self._weighted(value, self._responses)
+                        for key, value in self._response_weighted.items()
+                    },
+                },
+            }
+            if self._wire_seen:
+                flushes = 1.0  # weighted p99 already normalizes below
+                telemetry["wire"] = {
+                    "wire_bytes_in": {
+                        "total": self._wire_totals["wire_bytes_in"]
+                    },
+                    "wire_bytes_out": {
+                        "total": self._wire_totals["wire_bytes_out"]
+                    },
+                    "wire_connects": {"count": self._wire_connects},
+                    "wire_flush_us": {
+                        "p99": self._weighted(
+                            self._wire_flush_p99_weighted,
+                            self._wire_connects or flushes,
+                        )
+                    },
+                }
+            if self._trace_seen:
+                telemetry["trace"] = {
+                    "enabled": True,
+                    "slow_ticks": self._slow_ticks,
+                    "anomaly_count": self._anomalies,
+                }
+            snap = telemetry_obs_snapshot(telemetry, meta=self.meta)
+            snap.export("repro_jobs_total", self.n_jobs)
+            snap.export("repro_jobs_observed", len(self._jobs_observed))
+            snap.export("repro_iterations_total", self._iterations)
+        return snap

@@ -1,0 +1,227 @@
+"""The obs metric registry: one name table for everything the live
+endpoint exports.
+
+Meterstick's thesis is that variability must be observed *while it
+happens*; the endpoint therefore re-exports the same streaming state the
+sidecars already carry — the :class:`~repro.telemetry.tap.ServerTelemetry`
+tap, the tracer's per-phase accumulators, and the wire metrics — rather
+than keeping a second set of counters.  :data:`OBS_METRICS` is the single
+registry of exported names: every ``ObsSnapshot.export`` call must name
+an entry (enforced at runtime here and statically by lint rule MSL008),
+and every entry must be exported by some call site (the MSL008 reverse
+direction), so the endpoint's surface can never drift from the table
+documenting it.
+
+Scrape-diffability contract: rendered output is stable-sorted by metric
+name (label values sorted within a family) and carries **no wall-clock
+timestamps** — two scrapes of an idle server are byte-identical, and any
+diff between scrapes is real simulation progress.
+"""
+
+from __future__ import annotations
+
+import json
+
+__all__ = [
+    "OBS_METRICS",
+    "ObsSnapshot",
+    "render_json",
+    "render_prometheus",
+    "telemetry_obs_snapshot",
+]
+
+#: Exported metric name -> (prometheus type, source stream, label, help).
+#: ``source`` names the sidecar stream the value derives from — a
+#: ``SIDECAR_METRICS`` key for bus metrics, else the tap/trace/campaign
+#: section of the sidecar line.  ``label`` is the label key for family
+#: metrics ("" = plain scalar).
+OBS_METRICS = {
+    "repro_ticks_total": (
+        "counter", "tick_ms", "", "ticks simulated so far"),
+    "repro_tick_ms_mean": (
+        "gauge", "tick_ms", "", "mean tick duration (ms)"),
+    "repro_tick_ms_p50": (
+        "gauge", "tick_ms", "", "p50 tick duration (ms)"),
+    "repro_tick_ms_p95": (
+        "gauge", "tick_ms", "", "p95 tick duration (ms)"),
+    "repro_tick_ms_p99": (
+        "gauge", "tick_ms", "", "p99 tick duration (ms)"),
+    "repro_tick_ms_max": (
+        "gauge", "tick_ms", "", "max tick duration (ms)"),
+    "repro_tick_cov": (
+        "gauge", "tick_ms", "", "tick-duration coefficient of variation"),
+    "repro_isr": (
+        "gauge", "tick_ms", "", "streaming Instability Ratio (Eq. 1)"),
+    "repro_overloaded_fraction": (
+        "gauge", "tick_ms", "", "fraction of ticks over the 50 ms budget"),
+    "repro_entities": (
+        "gauge", "tap", "", "live entities at the last observed tick"),
+    "repro_entities_peak": (
+        "gauge", "tap", "", "peak live-entity population"),
+    "repro_phase_us_total": (
+        "counter", "tap", "phase",
+        "simulated microseconds per Fig. 11 work bucket"),
+    "repro_response_samples_total": (
+        "counter", "response_ms", "", "client response samples observed"),
+    "repro_response_ms_p50": (
+        "gauge", "response_ms", "", "p50 client response time (ms)"),
+    "repro_response_ms_p99": (
+        "gauge", "response_ms", "", "p99 client response time (ms)"),
+    "repro_wire_bytes_in_total": (
+        "counter", "wire_bytes_in", "", "bytes received on the wire"),
+    "repro_wire_bytes_out_total": (
+        "counter", "wire_bytes_out", "", "bytes flushed to the wire"),
+    "repro_wire_flush_us_p99": (
+        "gauge", "wire_flush_us", "", "p99 wire flush wall time (µs)"),
+    "repro_wire_connects_total": (
+        "counter", "wire_connects", "", "client connections accepted"),
+    "repro_slow_ticks_total": (
+        "counter", "trace", "", "ticks slower than the flight-recorder cut"),
+    "repro_trace_anomalies_total": (
+        "counter", "trace", "", "slow-tick flight-recorder dumps"),
+    "repro_jobs_total": (
+        "gauge", "campaign", "", "planned campaign jobs"),
+    "repro_jobs_observed": (
+        "gauge", "campaign", "", "jobs that have streamed telemetry"),
+    "repro_iterations_total": (
+        "counter", "campaign", "", "completed campaign iterations"),
+}
+
+
+class ObsSnapshot:
+    """One scrape's worth of metric values, plus run metadata.
+
+    ``meta`` (run name, cell, hygiene status, …) rides only in the JSON
+    rendering — the Prometheus text body stays pure metric samples.
+    """
+
+    def __init__(self, meta: dict | None = None) -> None:
+        self.meta = dict(meta or {})
+        #: name -> float, or name -> {label value -> float} for families.
+        self.values: dict = {}
+
+    def export(self, name: str, value, label: str | None = None) -> None:
+        """Record one sample; ``name`` must be in :data:`OBS_METRICS`."""
+        if name not in OBS_METRICS:
+            raise ValueError(
+                f"metric {name!r} is not in the OBS_METRICS registry"
+            )
+        label_key = OBS_METRICS[name][2]
+        if label is None:
+            if label_key:
+                raise ValueError(
+                    f"metric {name!r} needs a {label_key!r} label"
+                )
+            self.values[name] = float(value)
+        else:
+            if not label_key:
+                raise ValueError(f"metric {name!r} takes no label")
+            self.values.setdefault(name, {})[label] = float(value)
+
+
+def telemetry_obs_snapshot(
+    telemetry: dict, meta: dict | None = None
+) -> ObsSnapshot:
+    """Build a snapshot from one sidecar-shaped telemetry mapping.
+
+    ``telemetry`` is the exact shape the campaign sidecars carry
+    (``{"tick": tap snapshot, "response_ms": ..., "wire": ...,
+    "trace": ...}``) — the serve loop builds the same mapping live from
+    its accumulators, so the endpoint and the sidecars can never
+    disagree on what a metric means.
+    """
+    snap = ObsSnapshot(meta)
+    tick = telemetry.get("tick") or {}
+    tick_ms = tick.get("tick_ms") or {}
+    snap.export("repro_ticks_total", tick.get("ticks", 0))
+    snap.export("repro_isr", tick.get("isr", 0.0))
+    snap.export(
+        "repro_overloaded_fraction", tick.get("overloaded_fraction", 0.0)
+    )
+    snap.export("repro_tick_ms_mean", tick_ms.get("mean", 0.0))
+    snap.export("repro_tick_ms_p50", tick_ms.get("p50", 0.0))
+    snap.export("repro_tick_ms_p95", tick_ms.get("p95", 0.0))
+    snap.export("repro_tick_ms_p99", tick_ms.get("p99", 0.0))
+    snap.export("repro_tick_ms_max", tick_ms.get("max", 0.0))
+    snap.export("repro_tick_cov", tick_ms.get("cov", 0.0))
+    snap.export("repro_entities", tick.get("entities_last", 0))
+    snap.export("repro_entities_peak", tick.get("entities_peak", 0))
+    for bucket, us in sorted((tick.get("breakdown_us") or {}).items()):
+        snap.export("repro_phase_us_total", us, label=bucket)
+    response = telemetry.get("response_ms") or {}
+    snap.export("repro_response_samples_total", response.get("count", 0))
+    snap.export("repro_response_ms_p50", response.get("p50", 0.0))
+    snap.export("repro_response_ms_p99", response.get("p99", 0.0))
+    wire = telemetry.get("wire")
+    if wire:
+        snap.export(
+            "repro_wire_bytes_in_total",
+            (wire.get("wire_bytes_in") or {}).get("total", 0.0),
+        )
+        snap.export(
+            "repro_wire_bytes_out_total",
+            (wire.get("wire_bytes_out") or {}).get("total", 0.0),
+        )
+        snap.export(
+            "repro_wire_flush_us_p99",
+            (wire.get("wire_flush_us") or {}).get("p99", 0.0),
+        )
+        snap.export(
+            "repro_wire_connects_total",
+            (wire.get("wire_connects") or {}).get("count", 0),
+        )
+    trace = telemetry.get("trace")
+    if trace and trace.get("enabled"):
+        snap.export("repro_slow_ticks_total", trace.get("slow_ticks", 0))
+        anomalies = trace.get("anomaly_count")
+        if anomalies is None:
+            anomalies = len(trace.get("anomalies") or [])
+        snap.export("repro_trace_anomalies_total", anomalies)
+    return snap
+
+
+def _format_value(value: float) -> str:
+    """Deterministic sample formatting (integers stay integral)."""
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return format(value, ".10g")
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def render_prometheus(snap: ObsSnapshot) -> str:
+    """The Prometheus text exposition body: stable-sorted, timestamp-free."""
+    lines: list[str] = []
+    for name in sorted(snap.values):
+        mtype, _source, label_key, help_text = OBS_METRICS[name]
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {mtype}")
+        value = snap.values[name]
+        if isinstance(value, dict):
+            for label_value in sorted(value):
+                lines.append(
+                    f'{name}{{{label_key}="{_escape_label(label_value)}"}} '
+                    f"{_format_value(value[label_value])}"
+                )
+        else:
+            lines.append(f"{name} {_format_value(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(snap: ObsSnapshot) -> str:
+    """The JSON snapshot body (schema ``repro-obs/v1``), key-sorted."""
+    return (
+        json.dumps(
+            {
+                "schema": "repro-obs/v1",
+                "meta": snap.meta,
+                "metrics": snap.values,
+            },
+            sort_keys=True,
+        )
+        + "\n"
+    )

@@ -19,14 +19,35 @@ simulated work-µs while the tick's wall duration includes machine-model
 noise, so each tick's spans are tiled proportionally across its wall
 duration: nesting, ordering, and relative width are exact; absolute
 per-span wall time is an attribution, not a measurement.
+
+Wire campaigns add **client processes**: ``repro clients --trace-out``
+streams one span record per (client, tick) into
+``telemetry/*.clientspans.jsonl``, and each client renders as its own
+pid with wait/dispatch/step/drain tracks.  Client spans carry the
+server's simulated ``now_us`` from the TICK frame that closed them, so
+client and server tracks share one timeline, aligned tick id by
+tick id.
 """
 
 from __future__ import annotations
 
-__all__ = ["render_campaign_trace", "tick_events"]
+import json
+
+__all__ = [
+    "client_span_events",
+    "read_client_spans",
+    "render_campaign_trace",
+    "tick_events",
+]
 
 #: Reserved thread id for the per-job iteration/anomaly track.
 JOB_TID = 0
+
+#: Client sidecar suffix ``repro trace export`` merges as client pids.
+CLIENT_SPAN_SUFFIX = ".clientspans.jsonl"
+
+#: Client-process track layout: phase name -> thread id.
+CLIENT_TIDS = {"wait": 1, "dispatch": 2, "step": 3, "drain": 4}
 
 
 def tick_events(dump: dict, pid: int, tid_of) -> list[dict]:
@@ -68,6 +89,72 @@ def tick_events(dump: dict, pid: int, tid_of) -> list[dict]:
             }
         )
         stack.append([depth, ts])
+    return events
+
+
+def read_client_spans(store) -> dict[str, list[dict]]:
+    """Client span streams in ``store``'s telemetry dir, by stream name.
+
+    A stream is one ``repro clients --trace-out`` run
+    (``<name>.clientspans.jsonl``); torn or corrupt lines are skipped
+    exactly like the server sidecars' are.
+    """
+    telemetry_dir = store.telemetry_dir
+    if not telemetry_dir.is_dir():
+        return {}
+    streams: dict[str, list[dict]] = {}
+    for path in sorted(telemetry_dir.glob(f"*{CLIENT_SPAN_SUFFIX}")):
+        lines: list[dict] = []
+        for raw in path.read_text().splitlines():
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                lines.append(json.loads(raw))
+            except json.JSONDecodeError:
+                continue  # torn write from a killed client
+        if lines:
+            streams[path.name[: -len(CLIENT_SPAN_SUFFIX)]] = lines
+    return streams
+
+
+def client_span_events(lines: list[dict], pid: int) -> list[dict]:
+    """Render one client's span records as complete events.
+
+    Each record decomposes one tick cycle's wall time; the phases are
+    laid out around the TICK frame's simulated timestamp (wait and
+    dispatch end at the tick, step and drain follow it), each on its own
+    track, so the client's RTT anatomy lines up under the server's tick
+    that produced it.
+    """
+    events: list[dict] = []
+    for line in lines:
+        now_us = float(line.get("now_us", 0))
+        tick = line.get("tick")
+        durations = {
+            phase: float(line.get(f"{phase}_us", 0.0)) for phase in CLIENT_TIDS
+        }
+        starts = {
+            "wait": now_us - durations["wait"] - durations["dispatch"],
+            "dispatch": now_us - durations["dispatch"],
+            "step": now_us,
+            "drain": now_us + durations["step"],
+        }
+        for phase, tid in CLIENT_TIDS.items():
+            if durations[phase] <= 0:
+                continue
+            events.append(
+                {
+                    "name": phase,
+                    "cat": "client",
+                    "ph": "X",
+                    "ts": starts[phase],
+                    "dur": durations[phase],
+                    "pid": pid,
+                    "tid": tid,
+                    "args": {"tick": tick, "client": line.get("client")},
+                }
+            )
     return events
 
 
@@ -182,10 +269,31 @@ def render_campaign_trace(store, provenance: dict | None = None) -> dict:
                     "tid": JOB_TID,
                 }
             )
+    # Client processes, one pid per (span stream, client index), after
+    # the job pids.
+    client_processes = 0
+    client_span_lines = 0
+    next_pid = len(jobs) + 1
+    streams = read_client_spans(store)
+    for stream in sorted(streams):
+        by_client: dict[int, list[dict]] = {}
+        for line in streams[stream]:
+            by_client.setdefault(int(line.get("client", 0)), []).append(line)
+        for client in sorted(by_client):
+            pid = next_pid
+            next_pid += 1
+            client_processes += 1
+            client_span_lines += len(by_client[client])
+            events.append(_metadata(pid, None, f"client {stream}#{client}"))
+            for phase, tid in CLIENT_TIDS.items():
+                events.append(_metadata(pid, tid, phase))
+            events.extend(client_span_events(by_client[client], pid))
     other: dict = {
         "jobs": len(jobs),
         "traced_jobs": traced_jobs,
         "traced_iterations": traced_iterations,
+        "client_processes": client_processes,
+        "client_span_lines": client_span_lines,
     }
     if provenance is not None:
         other["provenance"] = provenance

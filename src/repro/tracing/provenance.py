@@ -103,6 +103,12 @@ _MEASUREMENT_FIELDS = (
     "trace",
     "trace_sample_every",
     "slow_tick_factor",
+    # live observability: a scraped run shares its process (and, in
+    # serve mode, its event loop's wall clock) with the endpoint, so
+    # obs-on and obs-off campaigns must not share a fingerprint.
+    "obs",
+    "obs_port",
+    "obs_scrape_grace",
     # transport: a wire-served run measures real socket/kernel effects
     # (and the port/batching shape the traffic), so inproc and tcp
     # campaigns must never share a fingerprint.

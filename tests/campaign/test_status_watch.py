@@ -1,0 +1,90 @@
+"""``repro status --watch``: incremental live polling of a campaign."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignExecutor, CampaignSpec, JobStore
+from repro.campaign.cli import _load_spec, _watch_status, main
+
+
+@pytest.fixture()
+def finished_campaign(tmp_path):
+    spec = CampaignSpec(
+        name="watched",
+        servers=["vanilla"],
+        workloads=["control"],
+        environments=["das5-2core"],
+        iterations=2,
+        duration_s=1.0,
+        seed=9,
+        output_dir=str(tmp_path / "out"),
+    )
+    CampaignExecutor(spec).run()
+    return tmp_path / "out"
+
+
+class TestStatusWatch:
+    def test_watch_renders_done_jobs(self, finished_campaign, capsys):
+        spec = _load_spec(str(finished_campaign))
+        store = JobStore(spec.output_dir)
+        rc = _watch_status(spec, store, interval_s=0.01, max_refreshes=2)
+        assert rc == 0
+        out = capsys.readouterr().out
+        frames = out.split("\x1b[2J\x1b[H")
+        assert len([frame for frame in frames if frame.strip()]) == 2
+        assert "Campaign 'watched'" in out
+        assert "done" in out
+        assert "1/1 jobs complete" in out
+
+    def test_watch_state_transitions_from_sidecar_tail(
+        self, tmp_path, capsys
+    ):
+        spec = CampaignSpec(
+            name="inflight",
+            servers=["vanilla"],
+            workloads=["control"],
+            environments=["das5-2core"],
+            iterations=2,
+            duration_s=1.0,
+            seed=9,
+            output_dir=str(tmp_path / "out"),
+        )
+        from repro.campaign import JobPlanner
+
+        plan = JobPlanner(spec).plan()
+        store = JobStore(spec.output_dir)
+        store.write_manifest(spec, plan)
+        # No sidecar yet: pending.
+        _watch_status(spec, store, interval_s=0.01, max_refreshes=1)
+        assert "pending" in capsys.readouterr().out
+        # A streamed sidecar line flips the job to running and carries
+        # its iteration count into the table.
+        store.telemetry_dir.mkdir(parents=True, exist_ok=True)
+        store.telemetry_path(plan[0].job_id).write_text(
+            json.dumps(
+                {
+                    "job_id": plan[0].job_id,
+                    "iteration": 0,
+                    "telemetry": {
+                        "tick": {
+                            "ticks": 10,
+                            "tick_ms": {"p50": 5.0, "p99": 9.0, "cov": 0.2},
+                        },
+                        "response_ms": {},
+                    },
+                }
+            )
+            + "\n"
+        )
+        _watch_status(spec, store, interval_s=0.01, max_refreshes=1)
+        out = capsys.readouterr().out
+        assert "running" in out
+        assert "0/1 jobs complete" in out
+
+    def test_cli_flag_parses(self, finished_campaign, capsys):
+        # --watch with no TTY still renders; bound via KeyboardInterrupt
+        # is interactive-only, so just exercise the argparse wiring by
+        # checking the plain one-shot path still works alongside it.
+        assert main(["status", str(finished_campaign)]) == 0
+        assert "jobs complete" in capsys.readouterr().out

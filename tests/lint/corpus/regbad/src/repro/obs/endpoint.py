@@ -1,0 +1,8 @@
+"""Known-bad obs exporter: ``repro_mystery_total`` is exported without a
+registry entry; the orphaned registry entry is never exported here."""
+
+
+def build(snap, tap):
+    snap.export("repro_tick_p50_ms", tap.tick_p50_ms)
+    snap.export("repro_bogus_ms", tap.tick_p50_ms)
+    snap.export("repro_mystery_total", tap.ticks)

@@ -1,0 +1,9 @@
+"""Known-bad MSL008 registry: ``repro_orphan_total`` is never exported
+and ``repro_bogus_ms`` claims a source that is neither a sidecar stream
+nor an obs section."""
+
+OBS_METRICS = {
+    "repro_tick_p50_ms": ("gauge", "tick_ms", "p50", "Median tick wall."),
+    "repro_orphan_total": ("counter", "tick_ms", "count", "Stale entry."),
+    "repro_bogus_ms": ("gauge", "ghost_stream", "p50", "Bad source."),
+}

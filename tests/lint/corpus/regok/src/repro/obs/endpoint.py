@@ -1,0 +1,8 @@
+"""Clean twin: exports exactly the registered obs metrics."""
+
+TICK_GAUGE = "repro_tick_p50_ms"
+
+
+def build(snap, tap):
+    snap.export(TICK_GAUGE, tap.tick_p50_ms)
+    snap.export("repro_uptime_ticks", tap.ticks)

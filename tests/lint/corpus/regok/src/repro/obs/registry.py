@@ -1,0 +1,6 @@
+"""Clean twin: every OBS_METRICS entry exported, every source real."""
+
+OBS_METRICS = {
+    "repro_tick_p50_ms": ("gauge", "tick_ms", "p50", "Median tick wall."),
+    "repro_uptime_ticks": ("counter", "tap", "ticks", "Ticks served."),
+}

@@ -186,6 +186,43 @@ class TestMSL007TransportLayering:
         assert findings_in(findings, "ops_ok.py", "MSL007") == []
 
 
+class TestMSL008ObsRegistration:
+    def test_fires_on_unregistered_stale_and_bad_source(self):
+        findings = [
+            f for f in lint_project("regbad") if f.rule == "MSL008"
+        ]
+        messages = "\n".join(f.message for f in findings)
+        assert (
+            "'repro_mystery_total' is exported to the obs endpoint but "
+            "missing" in messages
+        )
+        assert "'repro_orphan_total' is never exported" in messages
+        assert (
+            "names source 'ghost_stream', which is neither a "
+            "SIDECAR_METRICS stream nor an obs section" in messages
+        )
+        assert len(findings) == 3
+
+    def test_registered_exports_and_sections_stay_quiet(self):
+        # repro_tick_p50_ms is exported and sourced from a real sidecar
+        # stream; repro_bogus_ms IS exported so only its source fires.
+        findings = [
+            f for f in lint_project("regbad") if f.rule == "MSL008"
+        ]
+        messages = "\n".join(f.message for f in findings)
+        assert "'repro_tick_p50_ms'" not in messages
+        assert "'repro_bogus_ms' is never exported" not in messages
+
+    def test_findings_anchor_on_the_registry_entry_line(self):
+        by_msg = {
+            f.message: f
+            for f in lint_project("regbad")
+            if f.rule == "MSL008" and "registry" in f.path
+        }
+        lines = {f.line for f in by_msg.values()}
+        assert len(lines) == len(by_msg)  # one entry line each, not the dict
+
+
 class TestPartialScan:
     def test_single_file_scan_skips_registry_finalizers(self):
         # Linting one file must not fire "never published"/"missing

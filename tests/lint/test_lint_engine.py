@@ -102,7 +102,7 @@ class TestOrderingAndDeterminism:
     def test_text_rendering_shape(self):
         findings = lint_paths(["src"], root=CORPUS / "regbad")
         lines = render_text(findings).splitlines()
-        assert lines[-1].endswith("finding(s): 19 error(s), 0 warning(s)")
+        assert lines[-1].endswith("finding(s): 22 error(s), 0 warning(s)")
         first = findings[0]
         assert lines[0] == (
             f"{first.path}:{first.line}:{first.col}: "
